@@ -1,0 +1,213 @@
+// Package mrmicro_test is the paper-reproduction benchmark harness: one
+// testing.B benchmark per figure of the evaluation section. Each benchmark
+// regenerates its figure's sweep on the simulated testbeds and reports the
+// series as custom metrics (sim-seconds per configuration, improvement
+// percentages), so `go test -bench=. -benchmem` reproduces the paper's
+// numbers end to end. Wall-clock ns/op measures the simulator itself.
+//
+// Run with -short for reduced sweep sizes.
+package mrmicro_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mrmicro/internal/figures"
+	"mrmicro/internal/metrics"
+	"mrmicro/internal/microbench"
+	"mrmicro/internal/netsim"
+)
+
+// metricName compresses a series name into a metric suffix.
+func metricName(s string) string {
+	s = strings.NewReplacer("(", "", ")", "", "/", "_", " ", "", "-", "_").Replace(s)
+	return s
+}
+
+// benchFigure regenerates one figure per iteration and reports its series.
+func benchFigure(b *testing.B, id string) {
+	opts := figures.Options{Quick: testing.Short()}
+	fig, ok := figures.ByID(id)
+	if !ok {
+		b.Fatalf("figure %s not registered", id)
+	}
+	var out *figures.Output
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = fig.Generate(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Report the mean simulated job time of every series, paper-style.
+	for _, t := range out.Tables {
+		for _, s := range t.Series() {
+			b.ReportMetric(metrics.Mean(s.Values), "simsec_"+metricName(s.Name))
+		}
+	}
+	for _, tl := range out.Timelines {
+		if strings.Contains(tl.Title, "network") {
+			b.ReportMetric(tl.Peak(), "peakMBps_"+metricName(tl.Title[strings.LastIndex(tl.Title, " ")+1:]))
+		}
+	}
+}
+
+// Fig. 2: MRv1 job execution time by distribution pattern and interconnect.
+func BenchmarkFig2a_MRAvg_MRv1(b *testing.B)  { benchFigure(b, "fig2a") }
+func BenchmarkFig2b_MRRand_MRv1(b *testing.B) { benchFigure(b, "fig2b") }
+func BenchmarkFig2c_MRSkew_MRv1(b *testing.B) { benchFigure(b, "fig2c") }
+
+// Fig. 3: the same patterns on YARN with doubled cluster and task counts.
+func BenchmarkFig3a_MRAvg_YARN(b *testing.B)  { benchFigure(b, "fig3a") }
+func BenchmarkFig3b_MRRand_YARN(b *testing.B) { benchFigure(b, "fig3b") }
+func BenchmarkFig3c_MRSkew_YARN(b *testing.B) { benchFigure(b, "fig3c") }
+
+// Fig. 4: key/value size sensitivity (MR-AVG).
+func BenchmarkFig4a_KV10B(b *testing.B)  { benchFigure(b, "fig4a") }
+func BenchmarkFig4b_KV1KB(b *testing.B)  { benchFigure(b, "fig4b") }
+func BenchmarkFig4c_KV10KB(b *testing.B) { benchFigure(b, "fig4c") }
+
+// Fig. 5: map/reduce task-count sensitivity on 10GigE vs IPoIB QDR.
+func BenchmarkFig5_TaskCounts(b *testing.B) { benchFigure(b, "fig5") }
+
+// Fig. 6: data-type sensitivity (BytesWritable vs Text) up to 64 GB.
+func BenchmarkFig6a_BytesWritable(b *testing.B) { benchFigure(b, "fig6a") }
+func BenchmarkFig6b_Text(b *testing.B)          { benchFigure(b, "fig6b") }
+
+// Fig. 7: resource utilization timelines (CPU %, network MB/s).
+func BenchmarkFig7_ResourceUtilization(b *testing.B) { benchFigure(b, "fig7") }
+
+// Fig. 8: the RDMA-enhanced MapReduce case study on Cluster B.
+func BenchmarkFig8a_RDMA8Slaves(b *testing.B)  { benchFigure(b, "fig8a") }
+func BenchmarkFig8b_RDMA16Slaves(b *testing.B) { benchFigure(b, "fig8b") }
+
+// Summary: the conclusion's headline improvement percentages.
+func BenchmarkSummaryTable(b *testing.B) { benchFigure(b, "summary") }
+
+// BenchmarkSuiteOverhead measures the harness itself: spec construction for
+// one 16 GB MR-RAND job (real partitioner over ~8M records) — the cost of
+// preparing a benchmark, not running it.
+func BenchmarkSuiteOverhead_SpecBuild(b *testing.B) {
+	cfg := microbench.Config{
+		Pattern: microbench.MRRand,
+		Slaves:  4, NumMaps: 16, NumReduces: 8,
+		KeySize: 1024, ValueSize: 1024,
+	}.WithShuffleSize(16 << 30)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := microbench.BuildSpec(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benches: design choices DESIGN.md calls out.
+
+// BenchmarkAblation_SlowstartFraction sweeps the reducer slow-start point:
+// late reducers expose the whole shuffle after the map phase.
+func BenchmarkAblation_SlowstartFraction(b *testing.B) {
+	for _, slowstart := range []float64{0.05, 0.5, 1.0} {
+		b.Run(fmt.Sprintf("slowstart_%v", slowstart), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				cfg := microbench.Config{
+					Pattern: microbench.MRAvg,
+					Slaves:  4, NumMaps: 16, NumReduces: 8,
+					KeySize: 1024, ValueSize: 1024,
+					Network: netsim.OneGigE.Name,
+					ExtraConf: map[string]string{
+						"mapreduce.job.reduce.slowstart.completedmaps": fmt.Sprint(slowstart),
+					},
+				}.WithShuffleSize(8 << 30)
+				res, err := microbench.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.JobSeconds()
+			}
+			b.ReportMetric(last, "simsec")
+		})
+	}
+}
+
+// BenchmarkAblation_RDMAMergeOverlap isolates the pipelined-merge share of
+// the MRoIB gain from the kernel-bypass share.
+func BenchmarkAblation_RDMAMergeOverlap(b *testing.B) {
+	for _, rdma := range []bool{false, true} {
+		b.Run(fmt.Sprintf("rdmaShuffle_%v", rdma), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				cfg := microbench.Config{
+					Pattern: microbench.MRAvg,
+					Cluster: microbench.ClusterB,
+					Slaves:  8, NumMaps: 32, NumReduces: 16,
+					KeySize: 1024, ValueSize: 1024,
+					Network:     netsim.RDMAFDR56.Name, // same wire both ways
+					RDMAShuffle: rdma,
+				}.WithShuffleSize(32 << 30)
+				res, err := microbench.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.JobSeconds()
+			}
+			b.ReportMetric(last, "simsec")
+		})
+	}
+}
+
+// BenchmarkAblation_IOSortMB sweeps the map-side sort buffer: small buffers
+// multiply spills and merge passes.
+func BenchmarkAblation_IOSortMB(b *testing.B) {
+	for _, mb := range []int{50, 100, 400} {
+		b.Run(fmt.Sprintf("io.sort.mb_%d", mb), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				cfg := microbench.Config{
+					Pattern: microbench.MRAvg,
+					Slaves:  4, NumMaps: 16, NumReduces: 8,
+					KeySize: 1024, ValueSize: 1024,
+					Network:   netsim.IPoIBQDR32.Name,
+					ExtraConf: map[string]string{"mapreduce.task.io.sort.mb": fmt.Sprint(mb)},
+				}.WithShuffleSize(8 << 30)
+				res, err := microbench.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.JobSeconds()
+			}
+			b.ReportMetric(last, "simsec")
+		})
+	}
+}
+
+// BenchmarkAblation_Compression sweeps intermediate compression across
+// interconnects: the CPU-vs-wire-bytes crossover (helps 1GigE, washes out
+// or hurts on IPoIB QDR).
+func BenchmarkAblation_Compression(b *testing.B) {
+	for _, net := range []string{netsim.OneGigE.Name, netsim.IPoIBQDR32.Name} {
+		for _, compress := range []bool{false, true} {
+			b.Run(fmt.Sprintf("%s_compress_%v", metricName(net), compress), func(b *testing.B) {
+				var last float64
+				for i := 0; i < b.N; i++ {
+					cfg := microbench.Config{
+						Pattern: microbench.MRAvg,
+						Slaves:  4, NumMaps: 16, NumReduces: 8,
+						KeySize: 1024, ValueSize: 1024,
+						Network: net,
+						ExtraConf: map[string]string{
+							"mapreduce.map.output.compress": fmt.Sprint(compress),
+						},
+					}.WithShuffleSize(16 << 30)
+					res, err := microbench.Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res.JobSeconds()
+				}
+				b.ReportMetric(last, "simsec")
+			})
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Command mrbench runs a single MapReduce micro-benchmark — the suite's
+// `hadoop jar` equivalent. It builds the requested configuration, executes
+// it on the simulated cluster (or for real with -local), and prints the
+// configuration echo, job execution time and resource-utilization summary.
+//
+// Examples:
+//
+//	mrbench -pattern MR-AVG -network "IPoIB-QDR(32Gbps)" -size 16GB
+//	mrbench -pattern MR-SKEW -maps 32 -reduces 16 -engine yarn -slaves 8
+//	mrbench -pattern MR-RAND -datatype Text -kv 1024 -size 4GB -monitor
+//	mrbench -cluster B -network "RDMA-FDR(56Gbps)" -rdma -size 32GB
+//	mrbench -local -pairs 10000 -kv 64   # actually executes the records
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mrmicro/internal/cliutil"
+	"mrmicro/internal/localrun"
+	"mrmicro/internal/microbench"
+	"mrmicro/internal/netsim"
+)
+
+func main() {
+	var (
+		pattern  = flag.String("pattern", "MR-AVG", "micro-benchmark: MR-AVG, MR-RAND or MR-SKEW")
+		network  = flag.String("network", netsim.OneGigE.Name, "interconnect profile (see mrcluster -profiles)")
+		clusterF = flag.String("cluster", "A", "testbed: A (OSU Westmere) or B (TACC Stampede)")
+		engine   = flag.String("engine", "mrv1", "Hadoop generation: mrv1 or yarn")
+		slaves   = flag.Int("slaves", 4, "slave node count")
+		maps     = flag.Int("maps", 0, "map tasks (default 4 per slave)")
+		reduces  = flag.Int("reduces", 0, "reduce tasks (default 2 per slave)")
+		kv       = flag.Int("kv", 1024, "key and value payload size in bytes")
+		keySize  = flag.Int("keysize", 0, "key size override (bytes)")
+		valSize  = flag.Int("valuesize", 0, "value size override (bytes)")
+		dataType = flag.String("datatype", "BytesWritable", "intermediate data type: BytesWritable or Text")
+		sizeF    = flag.String("size", "", "total shuffle data size (e.g. 16GB); overrides -pairs")
+		pairs    = flag.Int64("pairs", 0, "key/value pairs per map task")
+		seed     = flag.Int64("seed", 1, "seed for MR-RAND / MR-SKEW randomness")
+		rdma     = flag.Bool("rdma", false, "use the RDMA-enhanced shuffle (MRoIB case study)")
+		monitor  = flag.Bool("monitor", false, "collect per-second resource utilization")
+		tasklog  = flag.Bool("tasklog", false, "print the per-task-attempt timeline (Gantt)")
+		traceF   = flag.String("trace", "", "write a Chrome trace-event JSON of the job to this file")
+		local    = flag.Bool("local", false, "execute for real in-process (small scale) instead of simulating")
+	)
+	flag.Parse()
+
+	cfg := microbench.Config{
+		Pattern:     microbench.Pattern(*pattern),
+		Network:     *network,
+		Cluster:     microbench.ClusterID(*clusterF),
+		Engine:      microbench.Engine(*engine),
+		Slaves:      *slaves,
+		NumMaps:     *maps,
+		NumReduces:  *reduces,
+		KeySize:     pick(*keySize, *kv),
+		ValueSize:   pick(*valSize, *kv),
+		DataType:    *dataType,
+		PairsPerMap: *pairs,
+		Seed:        *seed,
+		RDMAShuffle: *rdma,
+	}
+	if *monitor {
+		cfg.MonitorInterval = time.Second
+	}
+	if *sizeF != "" {
+		n, err := cliutil.ParseSize(*sizeF)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = cfg.WithShuffleSize(n)
+	}
+	if cfg.PairsPerMap <= 0 {
+		fatal(fmt.Errorf("specify -size or -pairs"))
+	}
+
+	if *local {
+		runLocal(cfg)
+		return
+	}
+	res, err := microbench.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Render())
+	if *tasklog {
+		fmt.Println()
+		fmt.Print(res.Report.RenderTimeline(100))
+	}
+	if *traceF != "" {
+		data, err := res.Report.ChromeTrace()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*traceF, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s (open in chrome://tracing or Perfetto)\n", *traceF)
+	}
+}
+
+func runLocal(cfg microbench.Config) {
+	job, err := microbench.BuildJob(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	res, err := localrun.Run(job, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("=== %s micro-benchmark (REAL execution via localrun) ===\n", cfg.Pattern)
+	fmt.Printf("maps/reduces        %d / %d\n", res.NumMaps, res.NumReduces)
+	fmt.Printf("wall time           %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("counters:\n%s", res.Counters)
+}
+
+func pick(override, def int) int {
+	if override > 0 {
+		return override
+	}
+	return def
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mrbench:", err)
+	os.Exit(1)
+}

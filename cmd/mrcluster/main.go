@@ -1,0 +1,114 @@
+// Command mrcluster inspects the simulated testbeds: it lists the network
+// profiles and node specs, and runs raw fabric micro-tests (point-to-point
+// and all-to-all transfers) so interconnect behaviour can be examined
+// without MapReduce on top — handy when calibrating or adding profiles.
+//
+// Examples:
+//
+//	mrcluster -profiles
+//	mrcluster -p2p -network 10GigE -bytes 1GB
+//	mrcluster -alltoall -network "IPoIB-QDR(32Gbps)" -slaves 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mrmicro/internal/cliutil"
+	"mrmicro/internal/cluster"
+	"mrmicro/internal/netsim"
+	"mrmicro/internal/sim"
+)
+
+func main() {
+	var (
+		profiles = flag.Bool("profiles", false, "list network profiles")
+		specs    = flag.Bool("specs", false, "show testbed node specifications")
+		p2p      = flag.Bool("p2p", false, "run a point-to-point transfer micro-test")
+		alltoall = flag.Bool("alltoall", false, "run an all-to-all shuffle-like micro-test")
+		network  = flag.String("network", netsim.OneGigE.Name, "network profile")
+		slaves   = flag.Int("slaves", 4, "slave count for -alltoall")
+		bytesF   = flag.String("bytes", "1GB", "transfer size per flow")
+	)
+	flag.Parse()
+
+	if !*profiles && !*specs && !*p2p && !*alltoall {
+		*profiles, *specs = true, true
+	}
+
+	if *profiles {
+		fmt.Println("network profiles:")
+		fmt.Printf("  %-22s %12s %10s %10s %10s %6s\n", "name", "bandwidth", "latency", "cpu/B(tx)", "cpu/B(rx)", "rdma")
+		for _, p := range netsim.Profiles() {
+			fmt.Printf("  %-22s %9.0f MB/s %10v %9.2fns %9.2fns %6v\n",
+				p.Name, p.Bandwidth/1e6, p.Latency, p.SenderCPUPerByte*1e9, p.ReceiverCPUPerByte*1e9, p.RDMA)
+		}
+	}
+	if *specs {
+		fmt.Println("\ntestbeds:")
+		for _, c := range []struct {
+			name string
+			spec cluster.NodeSpec
+		}{{"Cluster A (OSU Westmere)", cluster.WestmereSpec}, {"Cluster B (TACC Stampede)", cluster.StampedeSpec}} {
+			fmt.Printf("  %-26s %2d cores (x%.2f) %3d GB RAM  %d disk(s)\n",
+				c.name, c.spec.Cores, c.spec.SpeedFactor, c.spec.MemoryBytes>>30, c.spec.Disks)
+		}
+	}
+
+	prof, ok := netsim.ProfileByName(*network)
+	if !ok {
+		if *p2p || *alltoall {
+			fmt.Fprintf(os.Stderr, "mrcluster: unknown network %q\n", *network)
+			os.Exit(1)
+		}
+		return
+	}
+	n, err := cliutil.ParseSize(*bytesF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrcluster:", err)
+		os.Exit(1)
+	}
+
+	if *p2p {
+		e := sim.NewEngine()
+		f := netsim.NewFabric(e, prof, 2)
+		var took sim.Time
+		e.Go("p2p", func(p *sim.Proc) {
+			f.Transfer(p, 0, 1, n)
+			took = p.Now()
+		})
+		e.Run()
+		fmt.Printf("\np2p on %s: %d bytes in %v (%.0f MB/s)\n",
+			prof.Name, n, took, float64(n)/took.Seconds()/1e6)
+	}
+
+	if *alltoall {
+		e := sim.NewEngine()
+		f := netsim.NewFabric(e, prof, *slaves)
+		var wg sim.WaitGroup
+		for src := 0; src < *slaves; src++ {
+			for dst := 0; dst < *slaves; dst++ {
+				if src == dst {
+					continue
+				}
+				wg.Add(1)
+				src, dst := src, dst
+				e.Go("flow", func(p *sim.Proc) {
+					f.Transfer(p, src, dst, n)
+					wg.Done()
+				})
+			}
+		}
+		var took sim.Time
+		e.Go("waiter", func(p *sim.Proc) {
+			wg.Wait(p)
+			took = p.Now()
+		})
+		e.Run()
+		flows := *slaves * (*slaves - 1)
+		total := int64(flows) * n
+		fmt.Printf("\nall-to-all on %s: %d nodes, %d flows x %d bytes in %v (aggregate %.0f MB/s)\n",
+			prof.Name, *slaves, flows, n, took, float64(total)/took.Seconds()/1e6)
+	}
+}

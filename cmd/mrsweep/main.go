@@ -1,0 +1,88 @@
+// Command mrsweep regenerates the paper's evaluation figures: each -figure
+// target runs the corresponding micro-benchmark sweep on the simulated
+// testbeds and prints the same series the paper plots, with derived
+// improvement percentages for paper-vs-measured comparison.
+//
+// Examples:
+//
+//	mrsweep -figure fig2a            # MR-AVG over 1/10GigE + IPoIB QDR
+//	mrsweep -figure all              # the whole evaluation section
+//	mrsweep -figure fig8a -csv       # case-study series as CSV
+//	mrsweep -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mrmicro/internal/figures"
+)
+
+func main() {
+	var (
+		figureF = flag.String("figure", "", "figure id (fig2a..fig8b, summary) or 'all'")
+		quick   = flag.Bool("quick", false, "small sweep sizes (fast preview)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
+		outDir  = flag.String("out", "", "also write each figure's series as <dir>/<figure>.csv")
+		list    = flag.Bool("list", false, "list available figures")
+	)
+	flag.Parse()
+
+	if *list || *figureF == "" {
+		fmt.Println("available figures:")
+		for _, f := range figures.All() {
+			fmt.Printf("  %-8s %s\n", f.ID, f.Title)
+		}
+		if *figureF == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	var targets []figures.Figure
+	if *figureF == "all" {
+		targets = figures.All()
+	} else {
+		f, ok := figures.ByID(*figureF)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mrsweep: unknown figure %q (try -list)\n", *figureF)
+			os.Exit(1)
+		}
+		targets = []figures.Figure{f}
+	}
+
+	opts := figures.Options{Quick: *quick}
+	for _, f := range targets {
+		out, err := f.Generate(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrsweep: %s: %v\n", f.ID, err)
+			os.Exit(1)
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "mrsweep:", err)
+				os.Exit(1)
+			}
+			var buf strings.Builder
+			for _, t := range out.Tables {
+				fmt.Fprintf(&buf, "# %s\n%s", t.Title, t.CSV())
+			}
+			path := filepath.Join(*outDir, out.ID+".csv")
+			if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "mrsweep:", err)
+				os.Exit(1)
+			}
+		}
+		if *csv {
+			for _, t := range out.Tables {
+				fmt.Printf("# %s: %s\n%s", out.ID, t.Title, t.CSV())
+			}
+			continue
+		}
+		fmt.Print(out.Render())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,75 @@
+// Networkcompare: run the same micro-benchmark over every interconnect the
+// paper evaluates — 1 GigE, 10 GigE, IPoIB QDR on Cluster A; IPoIB FDR and
+// the RDMA-enhanced MapReduce (MRoIB) on Cluster B — and report job times
+// and improvement percentages side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mrmicro/internal/microbench"
+	"mrmicro/internal/netsim"
+)
+
+func main() {
+	const shuffleGB = 16
+	fmt.Printf("MR-AVG, %d GB shuffle, across every evaluated interconnect\n\n", shuffleGB)
+
+	// Cluster A: the Fig. 2 configuration.
+	fmt.Println("Cluster A (4 slaves, 16 maps / 8 reduces):")
+	var baseline float64
+	for _, prof := range []netsim.Profile{netsim.OneGigE, netsim.TenGigE, netsim.IPoIBQDR32} {
+		cfg := microbench.Config{
+			Pattern: microbench.MRAvg,
+			Cluster: microbench.ClusterA,
+			Slaves:  4, NumMaps: 16, NumReduces: 8,
+			KeySize: 1024, ValueSize: 1024,
+			Network: prof.Name,
+		}.WithShuffleSize(shuffleGB << 30)
+		res, err := microbench.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseline == 0 {
+			baseline = res.JobSeconds()
+			fmt.Printf("  %-22s %7.1f s (baseline)\n", prof.Name, res.JobSeconds())
+			continue
+		}
+		fmt.Printf("  %-22s %7.1f s (-%.1f%%)\n", prof.Name, res.JobSeconds(),
+			100*(baseline-res.JobSeconds())/baseline)
+	}
+
+	// Cluster B: the Sect. 6 case study.
+	fmt.Println("\nCluster B (8 slaves, 32 maps / 16 reduces) — RDMA case study:")
+	var ipoib float64
+	for _, mode := range []struct {
+		label   string
+		network string
+		rdma    bool
+	}{
+		{"IPoIB-FDR(56Gbps)", netsim.IPoIBFDR56.Name, false},
+		{"RDMA-FDR(56Gbps) MRoIB", netsim.RDMAFDR56.Name, true},
+	} {
+		cfg := microbench.Config{
+			Pattern: microbench.MRAvg,
+			Cluster: microbench.ClusterB,
+			Slaves:  8, NumMaps: 32, NumReduces: 16,
+			KeySize: 1024, ValueSize: 1024,
+			Network:     mode.network,
+			RDMAShuffle: mode.rdma,
+		}.WithShuffleSize(2 * shuffleGB << 30)
+		res, err := microbench.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ipoib == 0 {
+			ipoib = res.JobSeconds()
+			fmt.Printf("  %-22s %7.1f s (baseline)\n", mode.label, res.JobSeconds())
+			continue
+		}
+		fmt.Printf("  %-22s %7.1f s (-%.1f%%)\n", mode.label, res.JobSeconds(),
+			100*(ipoib-res.JobSeconds())/ipoib)
+	}
+	fmt.Println("\n(the paper reports ~17%/~24% for 10GigE/IPoIB-QDR over 1GigE, and 28-30% for RDMA over IPoIB FDR)")
+}

@@ -1,0 +1,33 @@
+// Quickstart: run one MapReduce micro-benchmark on a simulated cluster and
+// print its report — the smallest possible use of the suite's public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mrmicro/internal/microbench"
+	"mrmicro/internal/netsim"
+)
+
+func main() {
+	// MR-AVG, 8 GB of intermediate data, 1 KB keys and values, on the
+	// paper's Cluster A over IPoIB QDR.
+	cfg := microbench.Config{
+		Pattern:         microbench.MRAvg,
+		Network:         netsim.IPoIBQDR32.Name,
+		Slaves:          4,
+		NumMaps:         16,
+		NumReduces:      8,
+		KeySize:         1024,
+		ValueSize:       1024,
+		MonitorInterval: time.Second,
+	}.WithShuffleSize(8 << 30)
+
+	res, err := microbench.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+}

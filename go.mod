@@ -1,0 +1,3 @@
+module mrmicro
+
+go 1.24

@@ -1,0 +1,34 @@
+// Package cliutil holds small helpers shared by the command-line tools.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSize parses human-friendly byte sizes like "512MB", "16GB", "1.5GB",
+// "2TB" (binary units) or a bare byte count.
+func ParseSize(s string) (int64, error) {
+	in := s
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{{"TB", 1 << 40}, {"GB", 1 << 30}, {"MB", 1 << 20}, {"KB", 1 << 10}, {"B", 1}} {
+		if strings.HasSuffix(s, u.suffix) {
+			mult = u.mult
+			s = strings.TrimSuffix(s, u.suffix)
+			break
+		}
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", in)
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("negative size %q", in)
+	}
+	return int64(f * float64(mult)), nil
+}

@@ -1,0 +1,33 @@
+package cliutil
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"0":      0,
+		"123":    123,
+		"123B":   123,
+		"1KB":    1 << 10,
+		"512MB":  512 << 20,
+		"16GB":   16 << 30,
+		"1.5GB":  3 << 29,
+		"2TB":    2 << 40,
+		" 4 GB ": 4 << 30,
+		"4gb":    4 << 30,
+	}
+	for in, want := range cases {
+		got, err := ParseSize(in)
+		if err != nil {
+			t.Errorf("ParseSize(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "GB", "x12MB", "-4GB", "12QB"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package cluster assembles simulated machines — cores, local disks, and a
+// NIC on a shared fabric — into the two testbeds of the paper: Cluster A
+// (the OSU Intel Westmere cluster) and Cluster B (TACC Stampede).
+package cluster
+
+import (
+	"fmt"
+
+	"mrmicro/internal/disksim"
+	"mrmicro/internal/netsim"
+	"mrmicro/internal/sim"
+)
+
+// NodeSpec describes one machine model.
+type NodeSpec struct {
+	Cores       int
+	SpeedFactor float64 // per-core speed relative to the cost model's reference core
+	MemoryBytes int64
+	Disks       int
+	DiskSpec    disksim.Spec
+}
+
+// Node is a simulated machine.
+type Node struct {
+	Index int
+	Spec  NodeSpec
+	CPU   *sim.Resource
+	Disks *disksim.Array
+	// Store is the node's page-cache-aware filesystem view; task I/O goes
+	// through it so cache-hot spills behave as they do on real nodes.
+	Store *disksim.Store
+
+	cluster *Cluster
+}
+
+// Compute occupies one core for the given core-seconds of work (scaled by
+// the node's speed factor), blocking p through any core contention.
+func (n *Node) Compute(p *sim.Proc, coreSeconds float64) {
+	if coreSeconds <= 0 {
+		return
+	}
+	n.CPU.Use(p, 1, sim.DurationOf(coreSeconds/n.Spec.SpeedFactor))
+}
+
+// Cluster is a set of nodes on one interconnect. Node 0 is the master (runs
+// JobTracker / ResourceManager); nodes 1..Slaves are workers, matching the
+// paper's "N slave nodes" setups.
+type Cluster struct {
+	eng    *sim.Engine
+	nodes  []*Node
+	fabric *netsim.Fabric
+	name   string
+}
+
+// New builds a homogeneous cluster of 1 master + slaves workers.
+func New(e *sim.Engine, name string, spec NodeSpec, slaves int, profile netsim.Profile) *Cluster {
+	if slaves < 1 {
+		panic("cluster: need at least one slave")
+	}
+	total := slaves + 1
+	c := &Cluster{eng: e, name: name, fabric: netsim.NewFabric(e, profile, total)}
+	for i := 0; i < total; i++ {
+		disks := disksim.NewArray(e, fmt.Sprintf("%s-n%d", name, i), spec.DiskSpec, spec.Disks)
+		c.nodes = append(c.nodes, &Node{
+			Index:   i,
+			Spec:    spec,
+			CPU:     sim.NewResource(e, fmt.Sprintf("%s-n%d-cpu", name, i), int64(spec.Cores)),
+			Disks:   disks,
+			Store:   disksim.NewStore(e, disks, spec.MemoryBytes),
+			cluster: c,
+		})
+	}
+	return c
+}
+
+// Engine returns the simulation engine.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Name returns the cluster's name.
+func (c *Cluster) Name() string { return c.name }
+
+// Fabric returns the interconnect.
+func (c *Cluster) Fabric() *netsim.Fabric { return c.fabric }
+
+// Master returns node 0.
+func (c *Cluster) Master() *Node { return c.nodes[0] }
+
+// Node returns node i (0 = master).
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Slaves returns the worker nodes (indices 1..n).
+func (c *Cluster) Slaves() []*Node { return c.nodes[1:] }
+
+// Size returns the total node count including the master.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Transfer moves n bytes from node src to node dst over the fabric,
+// blocking p, and charges protocol CPU on both ends (the fundamental
+// difference between IPoIB and RDMA): the sending and receiving processes
+// burn core time proportional to the payload, contending with task compute.
+func (c *Cluster) Transfer(p *sim.Proc, src, dst int, bytes int64) {
+	prof := c.fabric.Profile()
+	if src != dst && prof.SenderCPUPerByte > 0 {
+		c.nodes[src].Compute(p, float64(bytes)*prof.SenderCPUPerByte)
+	}
+	c.fabric.Transfer(p, src, dst, bytes)
+	if src != dst && prof.ReceiverCPUPerByte > 0 {
+		c.nodes[dst].Compute(p, float64(bytes)*prof.ReceiverCPUPerByte)
+	}
+}
+
+// WestmereSpec is a Cluster A node: dual quad-core Xeon 2.67 GHz, 24 GB RAM,
+// two 1 TB HDDs. The cost model's reference core is this machine, so
+// SpeedFactor is 1.
+var WestmereSpec = NodeSpec{
+	Cores:       8,
+	SpeedFactor: 1.0,
+	MemoryBytes: 24 << 30,
+	Disks:       2,
+	DiskSpec:    disksim.HDD7200,
+}
+
+// StampedeSpec is a Cluster B node: dual octa-core Sandy Bridge E5-2680
+// 2.7 GHz, 32 GB RAM, a single 80 GB HDD.
+var StampedeSpec = NodeSpec{
+	Cores:       16,
+	SpeedFactor: 1.15, // Sandy Bridge IPC + clock edge over Westmere
+	MemoryBytes: 32 << 30,
+	Disks:       1,
+	DiskSpec:    disksim.HDD7200,
+}
+
+// ClusterA builds the paper's Cluster A with the given number of slaves
+// (the paper uses 4 or 8 of its 9 nodes).
+func ClusterA(e *sim.Engine, slaves int, profile netsim.Profile) *Cluster {
+	return New(e, "clusterA", WestmereSpec, slaves, profile)
+}
+
+// ClusterB builds the paper's Cluster B (Stampede) with the given slaves
+// (8 or 16 in the case study).
+func ClusterB(e *sim.Engine, slaves int, profile netsim.Profile) *Cluster {
+	return New(e, "clusterB", StampedeSpec, slaves, profile)
+}

@@ -1,0 +1,76 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"mrmicro/internal/mapreduce"
+)
+
+func TestDefaultsSane(t *testing.T) {
+	m := Default()
+	if m.TaskStartup <= 0 || m.JobSetup <= 0 || m.Heartbeat <= 0 {
+		t.Error("orchestration constants must be positive")
+	}
+	// Serialization path must be slower per byte than merge streaming.
+	if m.MapByteCPU <= m.MergeByteCPU {
+		t.Error("map collect path should cost more per byte than merging")
+	}
+	// Decompression is cheaper than compression for LZO-class codecs.
+	if m.DecompressCPU >= m.CompressCPU {
+		t.Error("decompress should be cheaper than compress")
+	}
+	if m.ReduceTaskHeap < 512<<20 {
+		t.Error("reduce heap implausibly small")
+	}
+}
+
+func TestSortCPU(t *testing.T) {
+	m := Default()
+	if m.SortCPU(0) != 0 || m.SortCPU(1) != 0 {
+		t.Error("degenerate sorts must be free")
+	}
+	// n log2 n scaling: 1024 records = 1024*10 comparisons.
+	want := 1024 * 10 * m.SortCompareCPU
+	if got := m.SortCPU(1024); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SortCPU(1024) = %v, want %v", got, want)
+	}
+	// Superlinear growth.
+	if m.SortCPU(1<<20) <= 1024*m.SortCPU(1<<10)/2 {
+		t.Error("sort cost not superlinear")
+	}
+}
+
+func TestMergeCPU(t *testing.T) {
+	m := Default()
+	if m.MergeCPU(0, 10) != 0 || m.MergeCPU(100, 1) != 0 {
+		t.Error("degenerate merges must be free")
+	}
+	// records * log2(fanIn): 1000 records through fan-in 8 = 3000 compares.
+	want := 1000 * 3 * m.SortCompareCPU
+	if got := m.MergeCPU(1000, 8); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MergeCPU = %v, want %v", got, want)
+	}
+}
+
+func TestShuffleBufferSizing(t *testing.T) {
+	m := Default()
+	conf := mapreduce.NewConf()
+	buf := m.ShuffleBufferBytes(conf)
+	if buf != int64(0.70*float64(m.ReduceTaskHeap)) {
+		t.Errorf("buffer = %d", buf)
+	}
+	thr := m.MergeThresholdBytes(conf)
+	if thr != int64(0.66*float64(buf)) {
+		t.Errorf("threshold = %d", thr)
+	}
+	// Conf overrides are honoured.
+	conf.SetFloat(mapreduce.ConfShuffleInputBufPct, 0.5)
+	conf.SetFloat(mapreduce.ConfShuffleMergePct, 0.9)
+	if m.ShuffleBufferBytes(conf) != m.ReduceTaskHeap/2 {
+		t.Error("input buffer override ignored")
+	}
+	if m.MergeThresholdBytes(conf) != int64(0.9*float64(m.ReduceTaskHeap/2)) {
+		t.Error("merge percent override ignored")
+	}
+}

@@ -1,0 +1,113 @@
+// Package disksim models node-local spinning disks: a seek cost per request
+// plus sequential transfer at a fixed rate, with FIFO service per spindle.
+// Nodes with several data directories (Hadoop-style JBOD) stripe task I/O
+// across disks round-robin, exactly as mapred.local.dir does.
+package disksim
+
+import (
+	"fmt"
+
+	"mrmicro/internal/sim"
+)
+
+// Spec describes one spindle.
+type Spec struct {
+	ReadBandwidth  float64  // bytes/sec sequential
+	WriteBandwidth float64  // bytes/sec sequential
+	Seek           sim.Time // per-request positioning cost
+}
+
+// HDD7200 approximates the 1 TB 7.2k SATA drives in the paper's Cluster A
+// (and the single 80 GB drive per Stampede node in Cluster B).
+var HDD7200 = Spec{
+	ReadBandwidth:  130e6,
+	WriteBandwidth: 115e6,
+	Seek:           sim.DurationOf(0.0084),
+}
+
+// Disk is a single spindle. Requests are serviced one at a time in FIFO
+// order; concurrent requesters queue (head contention), which is what makes
+// many concurrent spills slow — a first-order effect in MapReduce.
+type Disk struct {
+	eng  *sim.Engine
+	spec Spec
+	srv  *sim.Resource
+
+	readBytes  int64
+	writeBytes int64
+}
+
+// NewDisk creates a spindle on e.
+func NewDisk(e *sim.Engine, name string, spec Spec) *Disk {
+	if spec.ReadBandwidth <= 0 || spec.WriteBandwidth <= 0 {
+		panic(fmt.Sprintf("disksim: %s: bandwidth must be positive", name))
+	}
+	return &Disk{eng: e, spec: spec, srv: sim.NewResource(e, name, 1)}
+}
+
+// Read performs a sequential read of n bytes, blocking p for seek + transfer
+// (plus any queueing behind other requests).
+func (d *Disk) Read(p *sim.Proc, n int64) {
+	d.io(p, n, d.spec.Seek+sim.DurationOf(float64(n)/d.spec.ReadBandwidth))
+	d.readBytes += n
+}
+
+// Write performs a sequential write of n bytes.
+func (d *Disk) Write(p *sim.Proc, n int64) {
+	d.io(p, n, d.spec.Seek+sim.DurationOf(float64(n)/d.spec.WriteBandwidth))
+	d.writeBytes += n
+}
+
+func (d *Disk) io(p *sim.Proc, n int64, cost sim.Time) {
+	if n < 0 {
+		panic("disksim: negative I/O size")
+	}
+	d.srv.Use(p, 1, cost)
+}
+
+// Stats returns cumulative traffic.
+func (d *Disk) Stats() (readBytes, writeBytes int64) { return d.readBytes, d.writeBytes }
+
+// BusyIntegral exposes the service resource's busy integral for utilization.
+func (d *Disk) BusyIntegral() float64 { return d.srv.BusyIntegral() }
+
+// Array is a set of spindles used round-robin per stream, modelling
+// mapred.local.dir over multiple drives.
+type Array struct {
+	disks []*Disk
+	next  int
+}
+
+// NewArray builds n identical disks.
+func NewArray(e *sim.Engine, namePrefix string, spec Spec, n int) *Array {
+	if n <= 0 {
+		panic("disksim: array needs at least one disk")
+	}
+	a := &Array{}
+	for i := 0; i < n; i++ {
+		a.disks = append(a.disks, NewDisk(e, fmt.Sprintf("%s-d%d", namePrefix, i), spec))
+	}
+	return a
+}
+
+// Pick returns the next spindle round-robin. Callers keep the returned disk
+// for the lifetime of one file/stream so a spill's writes and later reads
+// land on the same spindle.
+func (a *Array) Pick() *Disk {
+	d := a.disks[a.next%len(a.disks)]
+	a.next++
+	return d
+}
+
+// Disks returns the spindles.
+func (a *Array) Disks() []*Disk { return a.disks }
+
+// Stats sums cumulative traffic over all spindles.
+func (a *Array) Stats() (readBytes, writeBytes int64) {
+	for _, d := range a.disks {
+		r, w := d.Stats()
+		readBytes += r
+		writeBytes += w
+	}
+	return
+}

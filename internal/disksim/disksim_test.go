@@ -1,0 +1,129 @@
+package disksim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mrmicro/internal/sim"
+)
+
+var flat = Spec{ReadBandwidth: 100, WriteBandwidth: 50, Seek: 0}
+
+func TestReadWriteTiming(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDisk(e, "d", flat)
+	var afterRead, afterWrite sim.Time
+	e.Go("io", func(p *sim.Proc) {
+		d.Read(p, 200) // 2s
+		afterRead = p.Now()
+		d.Write(p, 200) // 4s
+		afterWrite = p.Now()
+	})
+	e.Run()
+	if afterRead.Seconds() != 2 {
+		t.Errorf("read finished at %v, want 2s", afterRead.Seconds())
+	}
+	if afterWrite.Seconds() != 6 {
+		t.Errorf("write finished at %v, want 6s", afterWrite.Seconds())
+	}
+}
+
+func TestSeekCost(t *testing.T) {
+	spec := Spec{ReadBandwidth: 100, WriteBandwidth: 100, Seek: sim.Duration(time.Second)}
+	e := sim.NewEngine()
+	d := NewDisk(e, "d", spec)
+	var end sim.Time
+	e.Go("io", func(p *sim.Proc) {
+		d.Read(p, 100) // 1s seek + 1s transfer
+		end = p.Now()
+	})
+	e.Run()
+	if end.Seconds() != 2 {
+		t.Errorf("end = %v, want 2s", end.Seconds())
+	}
+}
+
+func TestFIFOContention(t *testing.T) {
+	// Two concurrent 100-byte reads on one spindle serialize: 1s + 1s.
+	e := sim.NewEngine()
+	d := NewDisk(e, "d", flat)
+	var ends []float64
+	for i := 0; i < 2; i++ {
+		e.Go("r", func(p *sim.Proc) {
+			d.Read(p, 100)
+			ends = append(ends, p.Now().Seconds())
+		})
+	}
+	e.Run()
+	if len(ends) != 2 || ends[0] != 1 || ends[1] != 2 {
+		t.Errorf("ends = %v, want [1 2]", ends)
+	}
+}
+
+func TestArrayRoundRobinParallelism(t *testing.T) {
+	// Two disks: two concurrent streams run in parallel.
+	e := sim.NewEngine()
+	a := NewArray(e, "n0", flat, 2)
+	var ends []float64
+	for i := 0; i < 2; i++ {
+		e.Go("r", func(p *sim.Proc) {
+			a.Pick().Read(p, 100)
+			ends = append(ends, p.Now().Seconds())
+		})
+	}
+	e.Run()
+	if len(ends) != 2 || ends[0] != 1 || ends[1] != 1 {
+		t.Errorf("ends = %v, want [1 1]", ends)
+	}
+}
+
+func TestStats(t *testing.T) {
+	e := sim.NewEngine()
+	a := NewArray(e, "n0", flat, 2)
+	e.Go("io", func(p *sim.Proc) {
+		a.Pick().Write(p, 300)
+		a.Pick().Read(p, 100)
+	})
+	e.Run()
+	r, w := a.Stats()
+	if r != 100 || w != 300 {
+		t.Errorf("stats = %d read %d write, want 100/300", r, w)
+	}
+}
+
+func TestBusyIntegral(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDisk(e, "d", flat)
+	e.Go("io", func(p *sim.Proc) { d.Read(p, 100) }) // busy 1s
+	e.Run()
+	if got := d.BusyIntegral(); math.Abs(got-float64(time.Second)) > 1 {
+		t.Errorf("busy integral = %v, want ~1s", got)
+	}
+}
+
+func TestHDDSpecRealistic(t *testing.T) {
+	if HDD7200.ReadBandwidth < 50e6 || HDD7200.ReadBandwidth > 300e6 {
+		t.Error("HDD read bandwidth outside plausible 7.2k rpm range")
+	}
+	if HDD7200.WriteBandwidth > HDD7200.ReadBandwidth {
+		t.Error("HDD write bandwidth should not exceed read")
+	}
+	if HDD7200.Seek <= 0 {
+		t.Error("HDD seek must be positive")
+	}
+}
+
+func TestNegativeIOPanics(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDisk(e, "d", flat)
+	e.Go("io", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for negative size")
+			}
+		}()
+		d.Read(p, -1)
+	})
+	e.Run()
+}

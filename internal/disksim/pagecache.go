@@ -1,0 +1,172 @@
+package disksim
+
+import (
+	"mrmicro/internal/sim"
+)
+
+// Store models a node's filesystem as Linux actually behaves under
+// MapReduce: writes land in the page cache at memory speed and are drained
+// to disk by background write-back; writers throttle once dirty data passes
+// the dirty limit (vm.dirty_ratio); reads of recently written data hit the
+// cache, spilling to the spindles only for the fraction that no longer
+// fits.
+//
+// This is what makes the paper's numbers reproducible: with 24 GB of RAM
+// and ~2 GB map outputs, Hadoop's spill/merge traffic is mostly cache-hot,
+// so job time is shaped by CPU and the network, not raw spindle bandwidth —
+// until the working set outgrows the cache (the paper's 64 GB runs).
+type Store struct {
+	eng   *sim.Engine
+	disks *Array
+
+	// MemBandwidth is the page-cache copy rate (bytes/sec).
+	MemBandwidth float64
+	// DirtyLimit throttles writers (bytes of un-synced data).
+	DirtyLimit int64
+	// CacheBytes is how much written data stays readable at memory speed.
+	CacheBytes int64
+
+	dirty    int64
+	live     int64
+	wbOn     []bool // one flusher flag per spindle
+	inFlight int64  // claimed by a flusher, not yet on the platter
+	progress sim.Cond
+}
+
+// writeChunk is the write-back granularity ceiling; the effective chunk is
+// capped at a quarter of the dirty limit so throttling and parallel
+// flushing behave at any scale.
+const writeChunk = 64 << 20
+
+func (s *Store) chunkSize() int64 {
+	c := int64(writeChunk)
+	if q := s.DirtyLimit / 4; q > 0 && q < c {
+		c = q
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// NewStore wraps a node's disk array with a page cache sized from the
+// node's memory: 20 % dirty limit and 60 % cache residency, the classic
+// Linux defaults of the era.
+func NewStore(eng *sim.Engine, disks *Array, memBytes int64) *Store {
+	return &Store{
+		eng:          eng,
+		disks:        disks,
+		MemBandwidth: 3e9,
+		DirtyLimit:   memBytes / 5,
+		CacheBytes:   memBytes * 6 / 10,
+	}
+}
+
+// Dirty returns un-synced bytes (for tests and monitors).
+func (s *Store) Dirty() int64 { return s.dirty }
+
+// Live returns bytes of live temp data counted against the cache.
+func (s *Store) Live() int64 { return s.live }
+
+// Write buffers n bytes through the page cache, throttling on the dirty
+// limit, and accounts them as live data.
+func (s *Store) Write(p *sim.Proc, n int64) {
+	for n > 0 {
+		c := s.chunkSize()
+		if c > n {
+			c = n
+		}
+		for s.dirty+c > s.DirtyLimit && s.dirty > 0 {
+			s.progress.Wait(p)
+		}
+		p.Sleep(sim.DurationOf(float64(c) / s.MemBandwidth))
+		s.dirty += c
+		s.live += c
+		s.kickWriteback()
+		n -= c
+	}
+}
+
+// Read charges n bytes: the cache-resident fraction at memory speed, the
+// remainder from a spindle (contending with write-back).
+func (s *Store) Read(p *sim.Proc, n int64) {
+	if n <= 0 {
+		return
+	}
+	frac := 1.0
+	if s.live > s.CacheBytes && s.live > 0 {
+		frac = float64(s.CacheBytes) / float64(s.live)
+	}
+	cached := int64(float64(n) * frac)
+	if cached > 0 {
+		p.Sleep(sim.DurationOf(float64(cached) / s.MemBandwidth))
+	}
+	if rest := n - cached; rest > 0 {
+		s.disks.Pick().Read(p, rest)
+	}
+}
+
+// Delete drops n bytes of live data (files removed after a merge or at job
+// end), freeing cache residency. Deleting a file whose pages are still
+// dirty cancels the pending write-back — short-lived spill files routinely
+// die in the cache without ever touching a spindle, a first-order effect
+// for MapReduce temp I/O. Without per-file tracking, the cancelled amount
+// is the deleted bytes scaled by the store-wide dirty fraction.
+func (s *Store) Delete(n int64) {
+	if n <= 0 {
+		return
+	}
+	if s.live > 0 {
+		cancel := int64(float64(n) * float64(s.dirty) / float64(s.live))
+		if cancel > s.dirty {
+			cancel = s.dirty
+		}
+		s.dirty -= cancel
+		if s.dirty < 0 {
+			s.dirty = 0
+		}
+		s.progress.Broadcast()
+	}
+	s.live -= n
+	if s.live < 0 {
+		s.live = 0
+	}
+}
+
+// Sync blocks p until all dirty data has reached the spindles, including
+// chunks already claimed by a flusher.
+func (s *Store) Sync(p *sim.Proc) {
+	for s.dirty > 0 || s.inFlight > 0 {
+		s.progress.Wait(p)
+	}
+}
+
+// kickWriteback ensures one flusher per spindle is draining (the kernel
+// flushes dirty pages across all devices concurrently); a flusher exits
+// when the pool empties and is respawned by the next write.
+func (s *Store) kickWriteback() {
+	if s.wbOn == nil {
+		s.wbOn = make([]bool, len(s.disks.Disks()))
+	}
+	for i, d := range s.disks.Disks() {
+		if s.wbOn[i] {
+			continue
+		}
+		s.wbOn[i] = true
+		i, d := i, d
+		s.eng.Go("writeback", func(p *sim.Proc) {
+			for s.dirty > 0 {
+				c := s.chunkSize()
+				if c > s.dirty {
+					c = s.dirty
+				}
+				s.dirty -= c // claim before the write so flushers split the pool
+				s.inFlight += c
+				d.Write(p, c)
+				s.inFlight -= c
+				s.progress.Broadcast()
+			}
+			s.wbOn[i] = false
+		})
+	}
+}

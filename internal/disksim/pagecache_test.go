@@ -1,0 +1,197 @@
+package disksim
+
+import (
+	"math"
+	"testing"
+
+	"mrmicro/internal/sim"
+)
+
+// fastDisk: 100 B/s write for easy arithmetic, no seek.
+var fastDisk = Spec{ReadBandwidth: 200, WriteBandwidth: 100, Seek: 0}
+
+func newStore(e *sim.Engine, memBytes int64, disks int) *Store {
+	return NewStore(e, NewArray(e, "n", fastDisk, disks), memBytes)
+}
+
+func TestWriteBelowDirtyLimitIsMemorySpeed(t *testing.T) {
+	e := sim.NewEngine()
+	s := newStore(e, 1000, 1) // dirty limit 200
+	s.MemBandwidth = 100      // make mem time visible: 1 B == 10 ms
+	var end sim.Time
+	e.Go("w", func(p *sim.Proc) {
+		s.Write(p, 100) // under the 200-byte dirty limit
+		end = p.Now()
+	})
+	e.Run()
+	if got := end.Seconds(); math.Abs(got-1.0) > 1e-6 {
+		t.Errorf("buffered write took %v, want 1s (memory speed)", got)
+	}
+}
+
+func TestWriteThrottledAtDirtyLimit(t *testing.T) {
+	e := sim.NewEngine()
+	s := newStore(e, 1000, 1) // dirty limit 200; disk drains 100 B/s
+	s.MemBandwidth = 1e12     // memory time negligible
+	var end sim.Time
+	e.Go("w", func(p *sim.Proc) {
+		s.Write(p, 1000) // far over the limit: most must drain at disk speed
+		end = p.Now()
+	})
+	e.Run()
+	// 1000 bytes through a 200-byte window: at least ~750 bytes must have
+	// drained at 100 B/s before the final chunk is accepted.
+	if end.Seconds() < 7.0 {
+		t.Errorf("throttled write took %v, want >= ~7.5s", end.Seconds())
+	}
+}
+
+func TestReadCachedVsUncached(t *testing.T) {
+	e := sim.NewEngine()
+	s := newStore(e, 1000, 1) // cache 600 bytes
+	s.MemBandwidth = 1e12
+	var cachedEnd, coldEnd sim.Time
+	e.Go("x", func(p *sim.Proc) {
+		s.Write(p, 500) // live 500 <= cache 600: fully cached
+		s.Sync(p)       // drain write-back so reads don't queue behind it
+		t0 := p.Now()
+		s.Read(p, 200)
+		cachedEnd = p.Now() - t0
+		s.Write(p, 1500) // live now 2000 > cache: reads partially cold
+		s.Sync(p)
+		t1 := p.Now()
+		s.Read(p, 200)
+		coldEnd = p.Now() - t1
+	})
+	e.Run()
+	if cachedEnd.Seconds() > 0.01 {
+		t.Errorf("cached read took %v, want ~0", cachedEnd)
+	}
+	// live=2000, cache=600 -> 30%% cached; 140 bytes at 200 B/s = 0.7s.
+	if coldEnd.Seconds() < 0.5 {
+		t.Errorf("cold read took %v, want >= 0.5s", coldEnd)
+	}
+}
+
+func TestDeleteCancelsDirtyWriteback(t *testing.T) {
+	e := sim.NewEngine()
+	s := newStore(e, 10000, 1) // dirty limit 2000
+	s.MemBandwidth = 1e12
+	e.Go("x", func(p *sim.Proc) {
+		s.Write(p, 1000) // all dirty, nothing flushed yet (first chunk may be in flight)
+		s.Delete(1000)   // file dies in cache
+	})
+	end := e.Run()
+	// Without cancellation the drain would take ~10s; with it, only the
+	// in-flight chunk (<=64MB chunking means all 1000B in one chunk...) —
+	// at 100 B/s: full drain 10s, cancel leaves <= one claimed chunk.
+	if end.Seconds() > 10.5 {
+		t.Errorf("delete did not cancel write-back: sim ended at %v", end)
+	}
+	if s.Live() != 0 {
+		t.Errorf("live = %d after delete", s.Live())
+	}
+}
+
+func TestSyncWaitsForDrain(t *testing.T) {
+	e := sim.NewEngine()
+	s := newStore(e, 1000, 1) // limit 200
+	s.MemBandwidth = 1e12
+	var synced sim.Time
+	e.Go("x", func(p *sim.Proc) {
+		s.Write(p, 150)
+		s.Sync(p)
+		synced = p.Now()
+	})
+	e.Run()
+	// 150 bytes at 100 B/s = 1.5 s of write-back before Sync returns.
+	if synced.Seconds() < 1.4 {
+		t.Errorf("sync returned at %v, want >= 1.5s", synced)
+	}
+}
+
+func TestParallelWritebackUsesAllSpindles(t *testing.T) {
+	run := func(disks int) float64 {
+		e := sim.NewEngine()
+		s := newStore(e, 1000, disks) // limit 200
+		s.MemBandwidth = 1e12
+		var end sim.Time
+		e.Go("w", func(p *sim.Proc) {
+			s.Write(p, 2000)
+			s.Sync(p)
+			end = p.Now()
+		})
+		e.Run()
+		return end.Seconds()
+	}
+	one, two := run(1), run(2)
+	if two >= one*0.75 {
+		t.Errorf("2 spindles (%vs) should drain much faster than 1 (%vs)", two, one)
+	}
+}
+
+func TestDeleteClampsAtZero(t *testing.T) {
+	e := sim.NewEngine()
+	s := newStore(e, 1000, 1)
+	s.Delete(500) // nothing live
+	if s.Live() != 0 || s.Dirty() != 0 {
+		t.Error("delete on empty store corrupted counters")
+	}
+	s.Delete(0)
+	s.Delete(-5)
+	if s.Live() != 0 {
+		t.Error("non-positive delete changed state")
+	}
+}
+
+func TestWriteZeroIsNoop(t *testing.T) {
+	e := sim.NewEngine()
+	s := newStore(e, 1000, 1)
+	e.Go("w", func(p *sim.Proc) {
+		s.Write(p, 0)
+		s.Read(p, 0)
+	})
+	end := e.Run()
+	if end != 0 {
+		t.Errorf("zero I/O advanced time to %v", end)
+	}
+}
+
+func TestStoreDefaultSizing(t *testing.T) {
+	e := sim.NewEngine()
+	s := newStore(e, 24<<30, 2)
+	if s.DirtyLimit != (24<<30)/5 {
+		t.Errorf("dirty limit = %d, want 20%% of RAM", s.DirtyLimit)
+	}
+	if s.CacheBytes != (24<<30)*6/10 {
+		t.Errorf("cache bytes = %d, want 60%% of RAM", s.CacheBytes)
+	}
+	if s.MemBandwidth != 3e9 {
+		t.Errorf("mem bandwidth = %v", s.MemBandwidth)
+	}
+}
+
+func TestConcurrentWritersThrottleFairly(t *testing.T) {
+	e := sim.NewEngine()
+	s := newStore(e, 1000, 1) // limit 200, drain 100 B/s
+	s.MemBandwidth = 1e12
+	ends := make([]sim.Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Go("w", func(p *sim.Proc) {
+			s.Write(p, 500)
+			ends[i] = p.Now()
+		})
+	}
+	e.Run()
+	// 1000 total bytes through a 200-byte dirty window: roughly
+	// (1000 - window)/100 B/s ≈ 7-8 s of mandatory drain before the last
+	// write's final chunk is accepted.
+	last := ends[0]
+	if ends[1] > last {
+		last = ends[1]
+	}
+	if last.Seconds() < 6.5 {
+		t.Errorf("writers finished at %v/%v, want >= ~7s of drain", ends[0], ends[1])
+	}
+}

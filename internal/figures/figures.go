@@ -1,0 +1,377 @@
+// Package figures regenerates every figure of the paper's evaluation
+// (Sect. 5 and the Sect. 6 case study) on the simulated testbeds. Each
+// Figure runs the micro-benchmark suite over the figure's parameter sweep
+// and reports the same series the paper plots, plus derived improvement
+// percentages for direct comparison with the paper's claims.
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"mrmicro/internal/metrics"
+	"mrmicro/internal/microbench"
+	"mrmicro/internal/netsim"
+)
+
+// Options tunes a figure run.
+type Options struct {
+	// Quick shrinks the sweeps (for tests and -short benchmarking); the
+	// full sweeps use the paper-scale shuffle sizes.
+	Quick bool
+}
+
+// Output is a regenerated figure.
+type Output struct {
+	ID        string
+	Title     string
+	Tables    []*metrics.Table
+	Timelines []*metrics.Timeline
+	Notes     []string
+}
+
+// Render formats the whole figure for the terminal.
+func (o *Output) Render() string {
+	s := fmt.Sprintf("==== %s: %s ====\n", o.ID, o.Title)
+	for _, t := range o.Tables {
+		s += t.Render() + "\n"
+	}
+	for _, tl := range o.Timelines {
+		s += tl.Render() + "\n"
+	}
+	for _, n := range o.Notes {
+		s += "note: " + n + "\n"
+	}
+	return s
+}
+
+// Figure is one reproducible evaluation panel.
+type Figure struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Output, error)
+}
+
+// Generate runs the figure and stamps identity onto the output.
+func (f Figure) Generate(o Options) (*Output, error) {
+	out, err := f.Run(o)
+	if err != nil {
+		return nil, err
+	}
+	out.ID, out.Title = f.ID, f.Title
+	return out, nil
+}
+
+// All returns every figure in paper order.
+func All() []Figure {
+	return []Figure{
+		{"fig2a", "MR-AVG job execution time, Cluster A (MRv1, 4 slaves, 16M/8R)", runFig2(microbench.MRAvg)},
+		{"fig2b", "MR-RAND job execution time, Cluster A (MRv1, 4 slaves, 16M/8R)", runFig2(microbench.MRRand)},
+		{"fig2c", "MR-SKEW job execution time, Cluster A (MRv1, 4 slaves, 16M/8R)", runFig2(microbench.MRSkew)},
+		{"fig3a", "MR-AVG on YARN, Cluster A (8 slaves, 32M/16R)", runFig3(microbench.MRAvg)},
+		{"fig3b", "MR-RAND on YARN, Cluster A (8 slaves, 32M/16R)", runFig3(microbench.MRRand)},
+		{"fig3c", "MR-SKEW on YARN, Cluster A (8 slaves, 32M/16R)", runFig3(microbench.MRSkew)},
+		{"fig4a", "MR-AVG with 10-byte key/values", runFig4(10)},
+		{"fig4b", "MR-AVG with 1 KB key/values", runFig4(1024)},
+		{"fig4c", "MR-AVG with 10 KB key/values", runFig4(10240)},
+		{"fig5", "MR-AVG with varying map/reduce task counts (10GigE vs IPoIB QDR)", runFig5},
+		{"fig6a", "MR-RAND with BytesWritable, up to 64 GB", runFig6("BytesWritable")},
+		{"fig6b", "MR-RAND with Text, up to 64 GB", runFig6("Text")},
+		{"fig7", "Resource utilization on one slave (MR-AVG, 16 GB)", runFig7},
+		{"fig8a", "IPoIB FDR vs RDMA, Cluster B, 8 slaves (MR-AVG, 32M/16R)", runFig8(8)},
+		{"fig8b", "IPoIB FDR vs RDMA, Cluster B, 16 slaves (MR-AVG, 32M/16R)", runFig8(16)},
+		{"summary", "Conclusion summary: network improvement percentages", runSummary},
+	}
+}
+
+// ByID returns the figure with the given ID.
+func ByID(id string) (Figure, bool) {
+	for _, f := range All() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}
+
+func gib(n float64) int64 { return int64(n * float64(1<<30)) }
+
+func sizeTicks(sizes []float64) []string {
+	out := make([]string, len(sizes))
+	for i, s := range sizes {
+		out[i] = fmt.Sprintf("%gGB", s)
+	}
+	return out
+}
+
+// clusterANetworks is the paper's Cluster A interconnect set.
+var clusterANetworks = []netsim.Profile{netsim.OneGigE, netsim.TenGigE, netsim.IPoIBQDR32}
+
+// sweep runs one configuration template across sizes × networks and builds
+// the figure table.
+func sweep(title string, base microbench.Config, sizes []float64, networks []netsim.Profile) (*metrics.Table, error) {
+	table := metrics.NewTable(title, "Shuffle Data Size", "Job Execution Time (seconds)", sizeTicks(sizes))
+	for _, prof := range networks {
+		vals := make([]float64, len(sizes))
+		for i, gbs := range sizes {
+			cfg := base
+			cfg.Network = prof.Name
+			cfg = cfg.WithShuffleSize(gib(gbs))
+			res, err := microbench.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s @%gGB on %s: %w", title, gbs, prof.Name, err)
+			}
+			vals[i] = res.JobSeconds()
+		}
+		table.AddSeries(prof.Name, vals)
+	}
+	return table, nil
+}
+
+// improvementNotes derives "X vs baseline" percentage notes from a table.
+func improvementNotes(t *metrics.Table, baseline string) []string {
+	base, ok := t.SeriesByName(baseline)
+	if !ok {
+		return nil
+	}
+	var notes []string
+	for _, s := range t.Series() {
+		if s.Name == baseline {
+			continue
+		}
+		imp := metrics.ImprovementPct(base, s)
+		notes = append(notes, fmt.Sprintf("%s improves on %s by %.1f%% (mean; max %.1f%%)",
+			s.Name, baseline, metrics.Mean(imp), metrics.Max(imp)))
+	}
+	return notes
+}
+
+func runFig2(pattern microbench.Pattern) func(Options) (*Output, error) {
+	return func(o Options) (*Output, error) {
+		sizes := []float64{8, 16, 24, 32}
+		if o.Quick {
+			sizes = []float64{2, 4}
+		}
+		base := microbench.Config{
+			Pattern: pattern,
+			Engine:  microbench.EngineMRv1,
+			Cluster: microbench.ClusterA,
+			Slaves:  4, NumMaps: 16, NumReduces: 8,
+			KeySize: 1024, ValueSize: 1024,
+		}
+		t, err := sweep(fmt.Sprintf("Fig. 2 (%s): job execution time by interconnect", pattern), base, sizes, clusterANetworks)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: []*metrics.Table{t}, Notes: improvementNotes(t, netsim.OneGigE.Name)}, nil
+	}
+}
+
+func runFig3(pattern microbench.Pattern) func(Options) (*Output, error) {
+	return func(o Options) (*Output, error) {
+		sizes := []float64{8, 16, 24, 32}
+		if o.Quick {
+			sizes = []float64{2, 4}
+		}
+		base := microbench.Config{
+			Pattern: pattern,
+			Engine:  microbench.EngineYARN,
+			Cluster: microbench.ClusterA,
+			Slaves:  8, NumMaps: 32, NumReduces: 16,
+			KeySize: 1024, ValueSize: 1024,
+		}
+		t, err := sweep(fmt.Sprintf("Fig. 3 (%s on YARN): job execution time by interconnect", pattern), base, sizes, clusterANetworks)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: []*metrics.Table{t}, Notes: improvementNotes(t, netsim.OneGigE.Name)}, nil
+	}
+}
+
+func runFig4(kvSize int) func(Options) (*Output, error) {
+	return func(o Options) (*Output, error) {
+		sizes := []float64{4, 8, 16}
+		if o.Quick {
+			sizes = []float64{1, 2}
+		}
+		base := microbench.Config{
+			Pattern: microbench.MRAvg,
+			Engine:  microbench.EngineMRv1,
+			Cluster: microbench.ClusterA,
+			Slaves:  4, NumMaps: 16, NumReduces: 8,
+			KeySize: kvSize, ValueSize: kvSize,
+		}
+		t, err := sweep(fmt.Sprintf("Fig. 4 (MR-AVG, %d-byte key/values)", kvSize), base, sizes, clusterANetworks)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: []*metrics.Table{t}, Notes: improvementNotes(t, netsim.OneGigE.Name)}, nil
+	}
+}
+
+func runFig5(o Options) (*Output, error) {
+	sizes := []float64{8, 16, 24, 32}
+	if o.Quick {
+		sizes = []float64{2, 4}
+	}
+	table := metrics.NewTable("Fig. 5: MR-AVG with varying number of maps and reduces",
+		"Shuffle Data Size", "Job Execution Time (seconds)", sizeTicks(sizes))
+	for _, prof := range []netsim.Profile{netsim.TenGigE, netsim.IPoIBQDR32} {
+		for _, mr := range []struct{ maps, reduces int }{{4, 2}, {8, 4}} {
+			vals := make([]float64, len(sizes))
+			for i, gbs := range sizes {
+				cfg := microbench.Config{
+					Pattern: microbench.MRAvg,
+					Engine:  microbench.EngineMRv1,
+					Cluster: microbench.ClusterA,
+					Slaves:  4, NumMaps: mr.maps, NumReduces: mr.reduces,
+					KeySize: 1024, ValueSize: 1024,
+					Network: prof.Name,
+				}.WithShuffleSize(gib(gbs))
+				res, err := microbench.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = res.JobSeconds()
+			}
+			table.AddSeries(fmt.Sprintf("%s-%dM-%dR", prof.Name, mr.maps, mr.reduces), vals)
+		}
+	}
+	var notes []string
+	for _, prof := range []netsim.Profile{netsim.TenGigE, netsim.IPoIBQDR32} {
+		small, _ := table.SeriesByName(fmt.Sprintf("%s-4M-2R", prof.Name))
+		big, _ := table.SeriesByName(fmt.Sprintf("%s-8M-4R", prof.Name))
+		imp := metrics.ImprovementPct(small, big)
+		notes = append(notes, fmt.Sprintf("doubling tasks improves %s by %.1f%% (mean)", prof.Name, metrics.Mean(imp)))
+	}
+	return &Output{Tables: []*metrics.Table{table}, Notes: notes}, nil
+}
+
+func runFig6(dataType string) func(Options) (*Output, error) {
+	return func(o Options) (*Output, error) {
+		sizes := []float64{16, 32, 48, 64}
+		if o.Quick {
+			sizes = []float64{2, 4}
+		}
+		base := microbench.Config{
+			Pattern: microbench.MRRand,
+			Engine:  microbench.EngineMRv1,
+			Cluster: microbench.ClusterA,
+			Slaves:  4, NumMaps: 16, NumReduces: 8,
+			KeySize: 1024, ValueSize: 1024,
+			DataType: dataType,
+		}
+		t, err := sweep(fmt.Sprintf("Fig. 6 (MR-RAND, %s)", dataType), base, sizes, clusterANetworks)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: []*metrics.Table{t}, Notes: improvementNotes(t, netsim.OneGigE.Name)}, nil
+	}
+}
+
+func runFig7(o Options) (*Output, error) {
+	size := 16.0
+	if o.Quick {
+		size = 2.0
+	}
+	out := &Output{}
+	for _, prof := range clusterANetworks {
+		cfg := microbench.Config{
+			Pattern: microbench.MRAvg,
+			Engine:  microbench.EngineMRv1,
+			Cluster: microbench.ClusterA,
+			Slaves:  4, NumMaps: 16, NumReduces: 8,
+			KeySize: 1024, ValueSize: 1024,
+			Network:         prof.Name,
+			MonitorInterval: time.Second,
+		}.WithShuffleSize(gib(size))
+		res, err := microbench.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// The paper reports one slave node; sample slave 0.
+		cpu := &metrics.Timeline{Title: fmt.Sprintf("Fig. 7(a) CPU utilization, %s", prof.Name), YLabel: "CPU %"}
+		net := &metrics.Timeline{Title: fmt.Sprintf("Fig. 7(b) network throughput, %s", prof.Name), YLabel: "MB/s received"}
+		for _, s := range res.Samples[0] {
+			sec := s.At.Seconds()
+			cpu.Points = append(cpu.Points, metrics.TimelinePoint{Second: sec, Value: s.CPUPct})
+			net.Points = append(net.Points, metrics.TimelinePoint{Second: sec, Value: s.NetRxMBps})
+		}
+		out.Timelines = append(out.Timelines, cpu, net)
+		out.Notes = append(out.Notes, fmt.Sprintf("%s peak network rx = %.0f MB/s (paper: 1GigE~110, 10GigE~520, QDR~950)",
+			prof.Name, res.PeakRxMBps()))
+	}
+	return out, nil
+}
+
+func runFig8(slaves int) func(Options) (*Output, error) {
+	return func(o Options) (*Output, error) {
+		sizes := []float64{16, 32, 48}
+		if o.Quick {
+			sizes = []float64{4, 8}
+		}
+		table := metrics.NewTable(
+			fmt.Sprintf("Fig. 8: IPoIB (56Gbps) vs RDMA (56Gbps), %d slaves", slaves),
+			"Shuffle Data Size", "Job Execution Time (seconds)", sizeTicks(sizes))
+		for _, mode := range []struct {
+			name    string
+			network string
+			rdma    bool
+		}{
+			{"IPoIB(56Gbps)", netsim.IPoIBFDR56.Name, false},
+			{"RDMA(56Gbps)", netsim.RDMAFDR56.Name, true},
+		} {
+			vals := make([]float64, len(sizes))
+			for i, gbs := range sizes {
+				cfg := microbench.Config{
+					Pattern: microbench.MRAvg,
+					Engine:  microbench.EngineMRv1,
+					Cluster: microbench.ClusterB,
+					Slaves:  slaves, NumMaps: 32, NumReduces: 16,
+					KeySize: 1024, ValueSize: 1024,
+					Network:     mode.network,
+					RDMAShuffle: mode.rdma,
+				}.WithShuffleSize(gib(gbs))
+				res, err := microbench.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = res.JobSeconds()
+			}
+			table.AddSeries(mode.name, vals)
+		}
+		return &Output{
+			Tables: []*metrics.Table{table},
+			Notes:  improvementNotes(table, "IPoIB(56Gbps)"),
+		}, nil
+	}
+}
+
+// runSummary reproduces the conclusion's headline percentages at the
+// reference configuration (Fig. 2a, MR-AVG).
+func runSummary(o Options) (*Output, error) {
+	sizes := []float64{16, 32}
+	if o.Quick {
+		sizes = []float64{2, 4}
+	}
+	base := microbench.Config{
+		Pattern: microbench.MRAvg,
+		Engine:  microbench.EngineMRv1,
+		Cluster: microbench.ClusterA,
+		Slaves:  4, NumMaps: 16, NumReduces: 8,
+		KeySize: 1024, ValueSize: 1024,
+	}
+	t, err := sweep("Summary reference sweep (MR-AVG)", base, sizes, clusterANetworks)
+	if err != nil {
+		return nil, err
+	}
+	one, _ := t.SeriesByName(netsim.OneGigE.Name)
+	ten, _ := t.SeriesByName(netsim.TenGigE.Name)
+	qdr, _ := t.SeriesByName(netsim.IPoIBQDR32.Name)
+	notes := []string{
+		fmt.Sprintf("10GigE vs 1GigE: %.1f%% (paper: ~17%%)", metrics.Mean(metrics.ImprovementPct(one, ten))),
+		fmt.Sprintf("IPoIB QDR vs 1GigE: %.1f%% (paper: up to ~23-24%%)", metrics.Mean(metrics.ImprovementPct(one, qdr))),
+		fmt.Sprintf("IPoIB QDR vs 10GigE: %.1f%% (paper: ~8-12%%)", metrics.Mean(metrics.ImprovementPct(ten, qdr))),
+	}
+	return &Output{Tables: []*metrics.Table{t}, Notes: notes}, nil
+}

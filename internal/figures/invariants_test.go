@@ -1,0 +1,152 @@
+package figures
+
+import (
+	"math/rand"
+	"testing"
+
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/metrics"
+	"mrmicro/internal/microbench"
+	"mrmicro/internal/netsim"
+)
+
+// TestRandomConfigInvariants fuzzes benchmark configurations across
+// patterns, engines, clusters, networks and sizes, and checks the
+// invariants every run must satisfy regardless of configuration:
+// conservation, phase ordering, determinism, and shuffle accounting.
+func TestRandomConfigInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(20140904)) // paper's workshop date
+	patterns := microbench.Patterns()
+	engines := []microbench.Engine{microbench.EngineMRv1, microbench.EngineYARN}
+	networks := netsim.Profiles()
+
+	trials := 25
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		slaves := 1 + rng.Intn(8)
+		cfg := microbench.Config{
+			Pattern:     patterns[rng.Intn(len(patterns))],
+			Engine:      engines[rng.Intn(len(engines))],
+			Network:     networks[rng.Intn(len(networks))].Name,
+			Slaves:      slaves,
+			NumMaps:     1 + rng.Intn(4*slaves),
+			NumReduces:  1 + rng.Intn(2*slaves),
+			KeySize:     1 << uint(3+rng.Intn(8)), // 8B..1KB
+			ValueSize:   1 << uint(3+rng.Intn(8)),
+			PairsPerMap: int64(1 + rng.Intn(20000)),
+			Seed:        rng.Int63(),
+		}
+		if rng.Intn(3) == 0 {
+			cfg.Cluster = microbench.ClusterB
+		}
+		if rng.Intn(4) == 0 {
+			cfg.ExtraConf = map[string]string{"mapreduce.map.output.compress": "true"}
+		}
+
+		res, err := microbench.Run(cfg)
+		if err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, cfg, err)
+		}
+		rep := res.Report
+		label := cfg.Label()
+
+		// Phase ordering.
+		if !(rep.JobStart < rep.MapPhaseEnd && rep.MapPhaseEnd <= rep.ShuffleEnd && rep.ShuffleEnd <= rep.JobEnd) {
+			t.Errorf("trial %d %s: phases disordered: %v %v %v %v",
+				trial, label, rep.JobStart, rep.MapPhaseEnd, rep.ShuffleEnd, rep.JobEnd)
+		}
+
+		// Record conservation.
+		c := rep.Counters
+		want := cfg.PairsPerMap * int64(cfg.NumMaps)
+		if got := c.Task(mapreduce.CtrMapOutputRecords); got != want {
+			t.Errorf("trial %d %s: map output records %d, want %d", trial, label, got, want)
+		}
+		if c.Task(mapreduce.CtrMapOutputRecords) != c.Task(mapreduce.CtrReduceInputRecords) {
+			t.Errorf("trial %d %s: record conservation violated", trial, label)
+		}
+
+		// Shuffle accounting: wire bytes equal the configured volume (scaled
+		// by the compression ratio when enabled).
+		wantBytes := cfg.ShuffleBytes()
+		if cfg.ExtraConf != nil {
+			wantBytes = wantBytes / 2 // modelled default ratio 0.5
+		}
+		tol := wantBytes/20 + int64(cfg.NumMaps*cfg.NumReduces) // rounding per segment
+		diff := res.ShuffleBytes - wantBytes
+		if diff < -tol || diff > tol {
+			t.Errorf("trial %d %s: shuffled %d bytes, want ~%d", trial, label, res.ShuffleBytes, wantBytes)
+		}
+
+		// Every successful task attempt in the history has sane timestamps.
+		for _, e := range rep.Tasks {
+			if e.End < e.Start {
+				t.Errorf("trial %d %s: task %s ends before it starts", trial, label, e.ID())
+			}
+		}
+
+		// Determinism: an identical config reproduces the identical report.
+		res2, err := microbench.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res2.JobSeconds() != res.JobSeconds() {
+			t.Errorf("trial %d %s: nondeterministic (%.6f vs %.6f)",
+				trial, label, res.JobSeconds(), res2.JobSeconds())
+		}
+	}
+}
+
+// TestImprovementMonotoneInBandwidth: for any fixed config, job time is
+// non-increasing as the interconnect gets faster — across random configs.
+func TestImprovementMonotoneInBandwidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	ladder := []netsim.Profile{netsim.OneGigE, netsim.TenGigE, netsim.IPoIBQDR32, netsim.IPoIBFDR56}
+	for trial := 0; trial < trials; trial++ {
+		base := microbench.Config{
+			Pattern:     microbench.Patterns()[rng.Intn(3)],
+			Slaves:      2 + rng.Intn(4),
+			KeySize:     1024,
+			ValueSize:   1024,
+			PairsPerMap: int64(20000 + rng.Intn(50000)),
+			Seed:        rng.Int63(),
+		}
+		var prev float64
+		for i, prof := range ladder {
+			cfg := base
+			cfg.Network = prof.Name
+			res, err := microbench.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i > 0 && res.JobSeconds() > prev*1.02 { // 2% slack for scheduling quantization
+				t.Errorf("trial %d: %s (%.1fs) slower than previous rung (%.1fs)",
+					trial, prof.Name, res.JobSeconds(), prev)
+			}
+			prev = res.JobSeconds()
+		}
+	}
+}
+
+// TestTableSeriesAllPositive guards the figure harness output itself.
+func TestTableSeriesAllPositive(t *testing.T) {
+	out := generate(t, "fig2a", Options{Quick: true})
+	for _, tb := range out.Tables {
+		for _, s := range tb.Series() {
+			if metrics.Mean(s.Values) <= 0 {
+				t.Errorf("series %s has non-positive mean", s.Name)
+			}
+			for i, v := range s.Values {
+				if v <= 0 {
+					t.Errorf("series %s tick %d = %v", s.Name, i, v)
+				}
+			}
+		}
+	}
+}

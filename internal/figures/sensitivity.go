@@ -1,0 +1,105 @@
+package figures
+
+import (
+	"fmt"
+
+	"mrmicro/internal/costmodel"
+	"mrmicro/internal/metrics"
+	"mrmicro/internal/microbench"
+	"mrmicro/internal/netsim"
+)
+
+// Knob is one perturbable cost-model constant.
+type Knob struct {
+	Name string
+	Set  func(*costmodel.Model, float64) // multiply the constant by f
+}
+
+// Knobs lists the constants the sensitivity study perturbs.
+func Knobs() []Knob {
+	return []Knob{
+		{"MapRecordCPU", func(m *costmodel.Model, f float64) { m.MapRecordCPU *= f }},
+		{"MapByteCPU", func(m *costmodel.Model, f float64) { m.MapByteCPU *= f }},
+		{"SortCompareCPU", func(m *costmodel.Model, f float64) { m.SortCompareCPU *= f }},
+		{"MergeByteCPU", func(m *costmodel.Model, f float64) { m.MergeByteCPU *= f }},
+		{"ReduceRecordCPU", func(m *costmodel.Model, f float64) { m.ReduceRecordCPU *= f }},
+		{"ReduceByteCPU", func(m *costmodel.Model, f float64) { m.ReduceByteCPU *= f }},
+		{"TaskStartup", func(m *costmodel.Model, f float64) { m.TaskStartup *= f }},
+		{"Heartbeat", func(m *costmodel.Model, f float64) { m.Heartbeat *= f }},
+		{"JobSetup", func(m *costmodel.Model, f float64) { m.JobSetup *= f }},
+	}
+}
+
+// SensitivityResult is one knob's effect on the headline metric.
+type SensitivityResult struct {
+	Knob string
+	// ImprovementAt is the QDR-vs-1GigE improvement (%) with the knob at
+	// 0.5x, 1.0x and 2.0x of its calibrated value.
+	ImprovementAt [3]float64
+}
+
+// Sensitivity measures how robust the reproduction's headline number (the
+// IPoIB QDR improvement over 1 GigE at the Fig. 2a reference point) is to
+// each cost-model constant: each knob is halved and doubled while the rest
+// stay calibrated. Small spreads mean the conclusion does not hinge on the
+// exact constant.
+func Sensitivity(shuffleGB float64) ([]SensitivityResult, error) {
+	improvement := func(m *costmodel.Model) (float64, error) {
+		var times [2]float64
+		for i, prof := range []netsim.Profile{netsim.OneGigE, netsim.IPoIBQDR32} {
+			cfg := microbench.Config{
+				Pattern: microbench.MRAvg,
+				Slaves:  4, NumMaps: 16, NumReduces: 8,
+				KeySize: 1024, ValueSize: 1024,
+				Network: prof.Name,
+				Model:   m,
+			}.WithShuffleSize(gib(shuffleGB))
+			res, err := microbench.Run(cfg)
+			if err != nil {
+				return 0, err
+			}
+			times[i] = res.JobSeconds()
+		}
+		return 100 * (times[0] - times[1]) / times[0], nil
+	}
+
+	var out []SensitivityResult
+	for _, k := range Knobs() {
+		var r SensitivityResult
+		r.Knob = k.Name
+		for i, f := range []float64{0.5, 1.0, 2.0} {
+			m := costmodel.Default()
+			k.Set(m, f)
+			imp, err := improvement(m)
+			if err != nil {
+				return nil, fmt.Errorf("sensitivity %s x%v: %w", k.Name, f, err)
+			}
+			r.ImprovementAt[i] = imp
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SensitivityTable renders the study as a metrics table.
+func SensitivityTable(shuffleGB float64) (*metrics.Table, error) {
+	results, err := Sensitivity(shuffleGB)
+	if err != nil {
+		return nil, err
+	}
+	ticks := make([]string, len(results))
+	for i, r := range results {
+		ticks[i] = r.Knob
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("Cost-model sensitivity of the QDR-vs-1GigE improvement (%%), %g GB reference", shuffleGB),
+		"constant", "improvement %", ticks)
+	for i, label := range []string{"x0.5", "x1.0", "x2.0"} {
+		vals := make([]float64, len(results))
+		for j, r := range results {
+			vals[j] = r.ImprovementAt[i]
+		}
+		t.AddSeries(label, vals)
+	}
+	return t, nil
+}

@@ -1,0 +1,52 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSensitivityRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs dozens of sims")
+	}
+	results, err := Sensitivity(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Knobs()) {
+		t.Fatalf("results = %d, want %d", len(results), len(Knobs()))
+	}
+	baseline := results[0].ImprovementAt[1] // x1.0 is identical for every knob
+	for _, r := range results {
+		if r.ImprovementAt[1] != baseline {
+			t.Errorf("%s: x1.0 improvement %.2f differs from baseline %.2f (nondeterminism?)",
+				r.Knob, r.ImprovementAt[1], baseline)
+		}
+		for i, imp := range r.ImprovementAt {
+			// The headline conclusion must survive any single-knob 2x
+			// perturbation: QDR still clearly beats 1GigE.
+			if imp < 8 {
+				t.Errorf("%s[%d]: improvement %.1f%% collapsed below 8%%", r.Knob, i, imp)
+			}
+			if imp > 45 {
+				t.Errorf("%s[%d]: improvement %.1f%% exploded above 45%%", r.Knob, i, imp)
+			}
+		}
+	}
+}
+
+func TestSensitivityTableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs dozens of sims")
+	}
+	tb, err := SensitivityTable(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.Render()
+	for _, want := range []string{"MapByteCPU", "x0.5", "x2.0", "sensitivity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Package hadooprpc implements a Hadoop-RPC-style remote procedure call
+// layer over TCP: a connection header naming the protocol, numbered calls
+// carrying Writable-serialized parameters, and responses with status and a
+// Writable result. It is the transport Hadoop's control plane (heartbeats,
+// job submission, task umbilicals) runs on, and the subject of the
+// companion micro-benchmark suite the paper cites as related work (Lu et
+// al., "A Micro-benchmark Suite for Evaluating Hadoop RPC on
+// High-Performance Networks", WBDB 2013).
+//
+// Wire format (big-endian):
+//
+//	connection: "hrpc" magic, version byte, Java-UTF protocol name
+//	call:       int32 call id, Java-UTF method, int32 param bytes, params
+//	response:   int32 call id, byte status (0 ok / 1 error),
+//	            int32 payload bytes, payload (result or error text)
+package hadooprpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"mrmicro/internal/writable"
+)
+
+// Version is the protocol version byte.
+const Version = 9 // matches Hadoop 1.x RPC version
+
+var magic = []byte("hrpc")
+
+// ErrShutdown is returned for calls after the client or server closed.
+var ErrShutdown = errors.New("hadooprpc: connection shut down")
+
+// Handler serves one method: it decodes its parameter from in and writes
+// its result to out.
+type Handler func(in *writable.DataInput, out *writable.DataOutput) error
+
+// Server dispatches calls to registered method handlers.
+type Server struct {
+	protocol string
+	ln       net.Listener
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	closed   bool
+	wg       sync.WaitGroup
+
+	calls int64 // served call count (stats)
+}
+
+// NewServer listens on addr ("127.0.0.1:0" for an ephemeral port) and
+// serves the named protocol.
+func NewServer(addr, protocol string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("hadooprpc: listen: %w", err)
+	}
+	s := &Server{protocol: protocol, ln: ln, handlers: make(map[string]Handler)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's dialable address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Register binds a method name to a handler. Must be called before clients
+// invoke the method; re-registration replaces the handler.
+func (s *Server) Register(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Calls returns the number of calls served.
+func (s *Server) Calls() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	// Connection header.
+	head := make([]byte, 5)
+	if _, err := io.ReadFull(conn, head); err != nil {
+		return
+	}
+	if string(head[:4]) != string(magic) || head[4] != Version {
+		return
+	}
+	proto, err := readUTF(conn)
+	if err != nil || proto != s.protocol {
+		return
+	}
+	for {
+		id, method, params, err := readCall(conn)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		h := s.handlers[method]
+		s.calls++
+		s.mu.Unlock()
+
+		out := writable.NewDataOutput(64)
+		status := byte(0)
+		if h == nil {
+			status = 1
+			out.Write([]byte(fmt.Sprintf("unknown method %q on %s", method, s.protocol)))
+		} else if err := h(writable.NewDataInput(params), out); err != nil {
+			status = 1
+			out.Reset()
+			out.Write([]byte(err.Error()))
+		}
+		if err := writeResponse(conn, id, status, out.Bytes()); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a single-connection RPC client. Calls are serialized per
+// client (one outstanding call at a time), matching Hadoop's per-connection
+// call pipelining at its simplest; open several clients for parallelism.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID int32
+	closed bool
+}
+
+// Dial connects and sends the connection header.
+func Dial(addr, protocol string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("hadooprpc: dial: %w", err)
+	}
+	var hdr []byte
+	hdr = append(hdr, magic...)
+	hdr = append(hdr, Version)
+	hdr = appendUTF(hdr, protocol)
+	if _, err := conn.Write(hdr); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Call invokes method with the given Writable parameters and decodes the
+// response into result (which may be nil for void methods).
+func (c *Client) Call(method string, result writable.Writable, params ...writable.Writable) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrShutdown
+	}
+	id := c.nextID
+	c.nextID++
+
+	enc := writable.NewDataOutput(64)
+	for _, p := range params {
+		p.Write(enc)
+	}
+	var req []byte
+	req = binary.BigEndian.AppendUint32(req, uint32(id))
+	req = appendUTF(req, method)
+	req = binary.BigEndian.AppendUint32(req, uint32(enc.Len()))
+	req = append(req, enc.Bytes()...)
+	if _, err := c.conn.Write(req); err != nil {
+		return fmt.Errorf("hadooprpc: write: %w", err)
+	}
+
+	gotID, status, payload, err := readResponse(c.conn)
+	if err != nil {
+		return err
+	}
+	if gotID != id {
+		return fmt.Errorf("hadooprpc: response id %d for call %d", gotID, id)
+	}
+	if status != 0 {
+		return &RemoteError{Method: method, Msg: string(payload)}
+	}
+	if result == nil {
+		if len(payload) != 0 {
+			return fmt.Errorf("hadooprpc: unexpected %d-byte result for void call", len(payload))
+		}
+		return nil
+	}
+	return writable.Unmarshal(payload, result)
+}
+
+// Close shuts the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// RemoteError is a handler-side failure surfaced to the caller.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("hadooprpc: remote error in %s: %s", e.Method, e.Msg)
+}
+
+// --- wire helpers ---
+
+func appendUTF(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func readUTF(r io.Reader) (string, error) {
+	var n [2]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return "", err
+	}
+	buf := make([]byte, binary.BigEndian.Uint16(n[:]))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readCall(r io.Reader) (id int32, method string, params []byte, err error) {
+	var idBuf [4]byte
+	if _, err = io.ReadFull(r, idBuf[:]); err != nil {
+		return
+	}
+	id = int32(binary.BigEndian.Uint32(idBuf[:]))
+	if method, err = readUTF(r); err != nil {
+		return
+	}
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > 64<<20 {
+		err = fmt.Errorf("hadooprpc: %d-byte params exceed limit", n)
+		return
+	}
+	params = make([]byte, n)
+	_, err = io.ReadFull(r, params)
+	return
+}
+
+func writeResponse(w io.Writer, id int32, status byte, payload []byte) error {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(id))
+	buf = append(buf, status)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readResponse(r io.Reader) (id int32, status byte, payload []byte, err error) {
+	var head [9]byte
+	if _, err = io.ReadFull(r, head[:]); err != nil {
+		return
+	}
+	id = int32(binary.BigEndian.Uint32(head[:4]))
+	status = head[4]
+	n := binary.BigEndian.Uint32(head[5:])
+	if n > 64<<20 {
+		err = fmt.Errorf("hadooprpc: %d-byte response exceeds limit", n)
+		return
+	}
+	payload = make([]byte, n)
+	_, err = io.ReadFull(r, payload)
+	return
+}

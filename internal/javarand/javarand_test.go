@@ -1,0 +1,169 @@
+package javarand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Known-answer vectors produced by OpenJDK's java.util.Random.
+func TestNextIntKnownVectors(t *testing.T) {
+	// new Random(0).nextInt() sequence.
+	r := New(0)
+	want0 := []int32{-1155484576, -723955400, 1033096058, -1690734402, -1557280266}
+	for i, w := range want0 {
+		if got := r.NextInt(); got != w {
+			t.Fatalf("seed 0, nextInt #%d = %d, want %d", i, got, w)
+		}
+	}
+	// new Random(42).nextInt() first value.
+	r42 := New(42)
+	if got := r42.NextInt(); got != -1170105035 {
+		t.Errorf("seed 42, first nextInt = %d, want -1170105035", got)
+	}
+}
+
+func TestSetSeedMatchesNew(t *testing.T) {
+	a := New(12345)
+	b := New(0)
+	b.SetSeed(12345)
+	for i := 0; i < 100; i++ {
+		if x, y := a.NextInt(), b.NextInt(); x != y {
+			t.Fatalf("diverged at %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestNextIntnBounds(t *testing.T) {
+	f := func(seed int64, bound int32) bool {
+		if bound <= 0 {
+			bound = -bound + 1
+		}
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.NextIntn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextIntnPowerOfTwoPath(t *testing.T) {
+	// For bound 2^k the value must be exactly next(31)*bound >> 31; verify the
+	// path is deterministic and in range, and exercises all residues over a
+	// long run.
+	r := New(7)
+	seen := make(map[int32]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.NextIntn(8)
+		if v < 0 || v >= 8 {
+			t.Fatalf("out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("only %d of 8 residues seen", len(seen))
+	}
+}
+
+func TestNextIntnUniformity(t *testing.T) {
+	// Chi-square-ish sanity for a non-power-of-two bound.
+	const bound, n = 10, 100000
+	r := New(2014)
+	counts := make([]int, bound)
+	for i := 0; i < n; i++ {
+		counts[r.NextIntn(bound)]++
+	}
+	want := float64(n) / bound
+	for i, c := range counts {
+		if float64(c) < 0.9*want || float64(c) > 1.1*want {
+			t.Errorf("bucket %d count %d outside 10%% of %v", i, c, want)
+		}
+	}
+}
+
+func TestNextIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(1).NextIntn(0)
+}
+
+func TestNextDoubleRange(t *testing.T) {
+	r := New(99)
+	for i := 0; i < 1000; i++ {
+		d := r.NextDouble()
+		if d < 0 || d >= 1 {
+			t.Fatalf("nextDouble out of [0,1): %v", d)
+		}
+	}
+}
+
+func TestNextFloatRange(t *testing.T) {
+	r := New(99)
+	for i := 0; i < 1000; i++ {
+		f := r.NextFloat()
+		if f < 0 || f >= 1 {
+			t.Fatalf("nextFloat out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestNextLongMatchesComposition(t *testing.T) {
+	// nextLong must equal (next(32)<<32) + next(32) from the same state.
+	a := New(5)
+	b := New(5)
+	for i := 0; i < 100; i++ {
+		want := (int64(b.next(32)) << 32) + int64(b.next(32))
+		if got := a.NextLong(); got != want {
+			t.Fatalf("nextLong #%d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestNextBytesLayout(t *testing.T) {
+	// Java emits ints little-endian into the byte array.
+	a := New(3)
+	b := New(3)
+	buf := make([]byte, 10)
+	a.NextBytes(buf)
+	v1, v2, v3 := b.NextInt(), b.NextInt(), b.NextInt()
+	want := []byte{
+		byte(v1), byte(v1 >> 8), byte(v1 >> 16), byte(v1 >> 24),
+		byte(v2), byte(v2 >> 8), byte(v2 >> 16), byte(v2 >> 24),
+		byte(v3), byte(v3 >> 8),
+	}
+	for i := range buf {
+		if buf[i] != want[i] {
+			t.Fatalf("byte %d = %#x, want %#x", i, buf[i], want[i])
+		}
+	}
+}
+
+func TestDeterministicSequences(t *testing.T) {
+	f := func(seed int64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 20; i++ {
+			if a.NextInt() != b.NextInt() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkNextIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NextIntn(16)
+	}
+}

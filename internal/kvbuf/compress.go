@@ -1,0 +1,50 @@
+package kvbuf
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// CompressSegment returns a DEFLATE-compressed copy of the segment, the
+// real-execution analogue of mapreduce.map.output.compress: map outputs are
+// compressed once on the map side and shuffled as compressed bytes.
+func CompressSegment(s *Segment) (*Segment, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(s.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return &Segment{data: buf.Bytes(), records: s.records, compressed: true}, nil
+}
+
+// CompressedSegmentFromBytes adopts wire bytes known to be compressed.
+func CompressedSegmentFromBytes(data []byte) *Segment {
+	return &Segment{data: data, records: -1, compressed: true}
+}
+
+// Compressed reports whether the segment holds DEFLATE-compressed records.
+func (s *Segment) Compressed() bool { return s.compressed }
+
+// Decompress materializes the raw IFile stream from a compressed segment.
+func (s *Segment) Decompress() (*Segment, error) {
+	if !s.compressed {
+		return s, nil
+	}
+	r := flate.NewReader(bytes.NewReader(s.data))
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("kvbuf: decompress: %w", err)
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return &Segment{data: raw, records: s.records}, nil
+}

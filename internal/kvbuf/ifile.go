@@ -1,0 +1,160 @@
+// Package kvbuf implements the map-side intermediate data machinery of
+// Hadoop MapReduce: the in-memory sort buffer (io.sort.mb semantics), the
+// IFile spill-segment format (vint-framed key/value records with a CRC32
+// trailer), and multi-way merge over sorted segments.
+//
+// localrun uses it to move real bytes; the simulated engines use its size
+// arithmetic (records, bytes, spill counts) to charge time.
+package kvbuf
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"mrmicro/internal/writable"
+)
+
+// EOFMarker is the key-length value that terminates an IFile stream,
+// matching Hadoop's IFile.EOF_MARKER.
+const EOFMarker = -1
+
+// Writer serializes records into IFile format: for each record a vint key
+// length, vint value length, then the raw bytes; the stream ends with two
+// -1 vints and a 4-byte CRC32 (Castagnoli) of everything before it.
+type Writer struct {
+	out     *writable.DataOutput
+	records int
+	closed  bool
+}
+
+// NewWriter returns an IFile writer with the given initial capacity hint.
+func NewWriter(capacity int) *Writer {
+	return &Writer{out: writable.NewDataOutput(capacity)}
+}
+
+// Append adds one record.
+func (w *Writer) Append(key, val []byte) {
+	if w.closed {
+		panic("kvbuf: append after close")
+	}
+	w.out.WriteVInt(int32(len(key)))
+	w.out.WriteVInt(int32(len(val)))
+	w.out.Write(key)
+	w.out.Write(val)
+	w.records++
+}
+
+// Records returns the number of appended records.
+func (w *Writer) Records() int { return w.records }
+
+// Len returns the bytes written so far (excluding the unwritten trailer).
+func (w *Writer) Len() int { return w.out.Len() }
+
+// Close writes the EOF marker and checksum and returns the finished segment.
+func (w *Writer) Close() *Segment {
+	if w.closed {
+		panic("kvbuf: double close")
+	}
+	w.closed = true
+	w.out.WriteVInt(EOFMarker)
+	w.out.WriteVInt(EOFMarker)
+	body := w.out.Bytes()
+	sum := crc32.Checksum(body, castagnoli)
+	w.out.WriteInt32(int32(sum))
+	return &Segment{data: w.out.Bytes(), records: w.records}
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Segment is one finished sorted run of records (a spill partition, a merge
+// output, or a shuffled map output).
+type Segment struct {
+	data       []byte
+	records    int
+	compressed bool
+}
+
+// SegmentFromBytes adopts a serialized IFile stream (e.g. received from the
+// network); record count is discovered on read.
+func SegmentFromBytes(data []byte) *Segment { return &Segment{data: data, records: -1} }
+
+// Bytes returns the raw IFile stream including trailer.
+func (s *Segment) Bytes() []byte { return s.data }
+
+// Len returns the segment's size in bytes.
+func (s *Segment) Len() int { return len(s.data) }
+
+// Records returns the record count, or -1 when unknown (adopted segments).
+func (s *Segment) Records() int { return s.records }
+
+// NewReader opens the segment for iteration. Compressed segments must be
+// Decompress()ed first.
+func (s *Segment) NewReader() *Reader {
+	if s.compressed {
+		panic("kvbuf: NewReader on compressed segment; call Decompress first")
+	}
+	return &Reader{in: writable.NewDataInput(s.data), data: s.data}
+}
+
+// Reader iterates an IFile segment, verifying the CRC trailer at EOF.
+type Reader struct {
+	in      *writable.DataInput
+	data    []byte
+	records int
+	done    bool
+}
+
+// Next returns the next record's key and value (views into the segment; copy
+// to retain). ok=false signals a clean EOF.
+func (r *Reader) Next() (key, val []byte, ok bool, err error) {
+	if r.done {
+		return nil, nil, false, nil
+	}
+	kl, err := r.in.ReadVInt()
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("kvbuf: reading key length: %w", err)
+	}
+	if kl == EOFMarker {
+		vl, err := r.in.ReadVInt()
+		if err != nil || vl != EOFMarker {
+			return nil, nil, false, fmt.Errorf("kvbuf: malformed EOF marker")
+		}
+		if err := r.verify(); err != nil {
+			return nil, nil, false, err
+		}
+		r.done = true
+		return nil, nil, false, nil
+	}
+	vl, err := r.in.ReadVInt()
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("kvbuf: reading value length: %w", err)
+	}
+	if kl < 0 || vl < 0 {
+		return nil, nil, false, fmt.Errorf("kvbuf: negative record lengths %d/%d", kl, vl)
+	}
+	key, err = r.in.ReadFull(int(kl))
+	if err != nil {
+		return nil, nil, false, err
+	}
+	val, err = r.in.ReadFull(int(vl))
+	if err != nil {
+		return nil, nil, false, err
+	}
+	r.records++
+	return key, val, true, nil
+}
+
+func (r *Reader) verify() error {
+	body := r.data[:r.in.Offset()]
+	want, err := r.in.ReadInt32()
+	if err != nil {
+		return fmt.Errorf("kvbuf: missing checksum: %w", err)
+	}
+	if got := int32(crc32.Checksum(body, castagnoli)); got != want {
+		return fmt.Errorf("kvbuf: checksum mismatch: %08x != %08x", uint32(got), uint32(want))
+	}
+	return nil
+}
+
+// RecordsRead returns how many records Next has yielded.
+func (r *Reader) RecordsRead() int { return r.records }

@@ -1,0 +1,166 @@
+package kvbuf
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mrmicro/internal/writable"
+)
+
+// mergeEntry is one segment's cursor in the merge heap.
+type mergeEntry struct {
+	r        *Reader
+	key, val []byte
+	eof      bool
+	index    int // tie-break: earlier segment wins, keeping merges stable
+}
+
+func (e *mergeEntry) advance() error {
+	k, v, ok, err := e.r.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		e.eof = true
+		e.key, e.val = nil, nil
+		return nil
+	}
+	e.key, e.val = k, v
+	return nil
+}
+
+type mergeHeap struct {
+	cmp     writable.RawComparator
+	entries []*mergeEntry
+}
+
+func (h *mergeHeap) Len() int { return len(h.entries) }
+func (h *mergeHeap) Less(i, j int) bool {
+	a, b := h.entries[i], h.entries[j]
+	if c := h.cmp(a.key, b.key); c != 0 {
+		return c < 0
+	}
+	return a.index < b.index
+}
+func (h *mergeHeap) Swap(i, j int)      { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *mergeHeap) Push(x interface{}) { h.entries = append(h.entries, x.(*mergeEntry)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	h.entries = old[:n-1]
+	return e
+}
+
+// MergeStream k-way merges the segments in key order and calls emit for
+// every record. It returns the number of key comparisons performed (which
+// the simulated engines convert to CPU time).
+func MergeStream(cmp writable.RawComparator, segs []*Segment, emit func(key, val []byte) error) (comparisons int64, err error) {
+	h := &mergeHeap{cmp: func(a, b []byte) int { comparisons++; return cmp(a, b) }}
+	for i, s := range segs {
+		e := &mergeEntry{r: s.NewReader(), index: i}
+		if err := e.advance(); err != nil {
+			return comparisons, err
+		}
+		if !e.eof {
+			h.entries = append(h.entries, e)
+		}
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		e := h.entries[0]
+		if err := emit(e.key, e.val); err != nil {
+			return comparisons, err
+		}
+		if err := e.advance(); err != nil {
+			return comparisons, err
+		}
+		if e.eof {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	return comparisons, nil
+}
+
+// Merge k-way merges segments into a single new segment.
+func Merge(cmp writable.RawComparator, segs []*Segment) (*Segment, int64, error) {
+	total := 0
+	for _, s := range segs {
+		total += s.Len()
+	}
+	w := NewWriter(total)
+	comparisons, err := MergeStream(cmp, segs, func(k, v []byte) error {
+		w.Append(k, v)
+		return nil
+	})
+	if err != nil {
+		return nil, comparisons, err
+	}
+	return w.Close(), comparisons, nil
+}
+
+// MergePasses plans a Hadoop-style multi-pass merge: with fan-in factor F
+// and n segments, intermediate passes reduce the segment count until one
+// final pass covers the rest. It returns, per intermediate pass, how many
+// segments that pass merges (the final pass is implicit). The first pass
+// takes just enough segments to make the remainder congruent, as Hadoop's
+// Merger does to minimize total passes.
+func MergePasses(n, factor int) []int {
+	if factor < 2 {
+		factor = 2
+	}
+	var passes []int
+	for n > factor {
+		take := factor
+		if rem := (n - 1) % (factor - 1); rem != 0 && len(passes) == 0 {
+			take = rem + 1
+		}
+		passes = append(passes, take)
+		n = n - take + 1
+	}
+	return passes
+}
+
+// Record is one materialized key/value pair.
+type Record struct {
+	Key, Val []byte
+}
+
+// GroupIterator splits a sorted record stream into key groups for the
+// reducer: all consecutive records whose keys compare equal form one group.
+type GroupIterator struct {
+	cmp  writable.RawComparator
+	recs []Record
+	pos  int
+}
+
+// NewGroupIterator wraps a fully merged record slice.
+func NewGroupIterator(cmp writable.RawComparator, recs []Record) *GroupIterator {
+	return &GroupIterator{cmp: cmp, recs: recs}
+}
+
+// NextGroup returns the next key and that key's values; ok=false at end.
+func (g *GroupIterator) NextGroup() (key []byte, vals [][]byte, ok bool) {
+	if g.pos >= len(g.recs) {
+		return nil, nil, false
+	}
+	key = g.recs[g.pos].Key
+	for g.pos < len(g.recs) && g.cmp(g.recs[g.pos].Key, key) == 0 {
+		vals = append(vals, g.recs[g.pos].Val)
+		g.pos++
+	}
+	return key, vals, true
+}
+
+// Validate checks that recs are sorted by cmp (a merge invariant).
+func Validate(cmp writable.RawComparator, recs []Record) error {
+	for i := 1; i < len(recs); i++ {
+		if cmp(recs[i-1].Key, recs[i].Key) > 0 {
+			return fmt.Errorf("kvbuf: records out of order at %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package kvbuf
+
+import (
+	"fmt"
+	"sort"
+
+	"mrmicro/internal/writable"
+)
+
+// recordMeta locates one buffered record inside the slab, Hadoop's kvmeta
+// equivalent.
+type recordMeta struct {
+	partition      int32
+	keyOff, keyLen int32
+	valOff, valLen int32
+}
+
+// SortBuffer is the map-side collection buffer (io.sort.mb): records
+// accumulate in a byte slab with metadata entries; Spill sorts them by
+// (partition, key) using the key type's raw comparator and emits one IFile
+// segment per partition.
+type SortBuffer struct {
+	cmp        writable.RawComparator
+	partitions int
+	capacity   int
+
+	slab []byte
+	meta []recordMeta
+}
+
+// MetaBytesPerRecord approximates the bookkeeping overhead Hadoop charges
+// per record against io.sort.mb (kvmeta's 16 bytes plus kvindex).
+const MetaBytesPerRecord = 16
+
+// NewSortBuffer creates a buffer of capacityBytes for the given partition
+// count, sorting keys with cmp.
+func NewSortBuffer(capacityBytes, partitions int, cmp writable.RawComparator) *SortBuffer {
+	if capacityBytes <= 0 || partitions <= 0 {
+		panic("kvbuf: capacity and partitions must be positive")
+	}
+	if cmp == nil {
+		panic("kvbuf: nil comparator")
+	}
+	return &SortBuffer{cmp: cmp, partitions: partitions, capacity: capacityBytes}
+}
+
+// Add buffers one record. It returns false when the record does not fit
+// (the caller must spill first); a single record larger than the whole
+// buffer is an error.
+func (b *SortBuffer) Add(partition int, key, val []byte) (bool, error) {
+	if partition < 0 || partition >= b.partitions {
+		return false, fmt.Errorf("kvbuf: partition %d out of range [0,%d)", partition, b.partitions)
+	}
+	sz := len(key) + len(val) + MetaBytesPerRecord
+	if sz > b.capacity {
+		return false, fmt.Errorf("kvbuf: record of %d bytes exceeds buffer capacity %d", sz, b.capacity)
+	}
+	if b.Used()+sz > b.capacity {
+		return false, nil
+	}
+	ko := int32(len(b.slab))
+	b.slab = append(b.slab, key...)
+	vo := int32(len(b.slab))
+	b.slab = append(b.slab, val...)
+	b.meta = append(b.meta, recordMeta{
+		partition: int32(partition),
+		keyOff:    ko, keyLen: int32(len(key)),
+		valOff: vo, valLen: int32(len(val)),
+	})
+	return true, nil
+}
+
+// Used returns the occupied bytes including per-record metadata.
+func (b *SortBuffer) Used() int { return len(b.slab) + len(b.meta)*MetaBytesPerRecord }
+
+// Capacity returns the configured capacity in bytes.
+func (b *SortBuffer) Capacity() int { return b.capacity }
+
+// Records returns the buffered record count.
+func (b *SortBuffer) Records() int { return len(b.meta) }
+
+// ShouldSpill reports whether occupancy passed the spill threshold.
+func (b *SortBuffer) ShouldSpill(spillPercent float64) bool {
+	return float64(b.Used()) >= spillPercent*float64(b.capacity)
+}
+
+// Spill sorts the buffered records by (partition, key) and returns one
+// segment per partition (empty partitions yield empty segments), then
+// resets the buffer. Comparisons is the number of key comparisons performed,
+// which the simulated engines convert to CPU time.
+func (b *SortBuffer) Spill() (segs []*Segment, comparisons int64) {
+	key := func(m recordMeta) []byte { return b.slab[m.keyOff : m.keyOff+m.keyLen] }
+	sort.SliceStable(b.meta, func(i, j int) bool {
+		comparisons++
+		a, c := b.meta[i], b.meta[j]
+		if a.partition != c.partition {
+			return a.partition < c.partition
+		}
+		return b.cmp(key(a), key(c)) < 0
+	})
+	segs = make([]*Segment, b.partitions)
+	i := 0
+	for p := 0; p < b.partitions; p++ {
+		w := NewWriter(64)
+		for i < len(b.meta) && b.meta[i].partition == int32(p) {
+			m := b.meta[i]
+			w.Append(key(m), b.slab[m.valOff:m.valOff+m.valLen])
+			i++
+		}
+		segs[p] = w.Close()
+	}
+	b.slab = b.slab[:0]
+	b.meta = b.meta[:0]
+	return segs, comparisons
+}

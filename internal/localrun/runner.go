@@ -1,0 +1,528 @@
+package localrun
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mrmicro/internal/kvbuf"
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/writable"
+)
+
+// Options tunes the local executor.
+type Options struct {
+	// MapParallelism / ReduceParallelism bound concurrent tasks
+	// (default: GOMAXPROCS).
+	MapParallelism    int
+	ReduceParallelism int
+}
+
+// Result summarizes a completed job.
+type Result struct {
+	Counters   *mapreduce.Counters
+	NumMaps    int
+	NumReduces int
+	Elapsed    time.Duration
+
+	// PerReduceRecords is each reduce task's input record count — the
+	// realized intermediate-data distribution (what the paper's partition
+	// patterns shape).
+	PerReduceRecords []int64
+}
+
+// Run executes the job to completion and returns its merged counters.
+func Run(job *mapreduce.Job, opts *Options) (*Result, error) {
+	start := time.Now()
+	if opts == nil {
+		opts = &Options{}
+	}
+	if opts.MapParallelism <= 0 {
+		opts.MapParallelism = runtime.GOMAXPROCS(0)
+	}
+	if opts.ReduceParallelism <= 0 {
+		opts.ReduceParallelism = runtime.GOMAXPROCS(0)
+	}
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	conf := job.Conf
+	numReduces := conf.NumReduces()
+
+	splits, err := job.Input.Splits(conf)
+	if err != nil {
+		return nil, fmt.Errorf("localrun: computing splits: %w", err)
+	}
+	if len(splits) == 0 {
+		return nil, &mapreduce.JobError{Msg: "localrun: input produced no splits"}
+	}
+
+	total := mapreduce.NewCounters()
+
+	if numReduces == 0 {
+		// Map-only job: mapper output goes straight to the output format.
+		if job.Output == nil {
+			return nil, &mapreduce.JobError{Msg: "localrun: map-only job needs an Output"}
+		}
+		taskCtrs := make([]*mapreduce.Counters, len(splits))
+		err := parallelFor(len(splits), opts.MapParallelism, func(i int) error {
+			c, err := runMapOnly(job, i, splits[i])
+			taskCtrs[i] = c
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range taskCtrs {
+			total.Merge(c)
+		}
+		return &Result{Counters: total, NumMaps: len(splits), Elapsed: time.Since(start)}, nil
+	}
+
+	cmp, err := writable.Comparator(job.MapOutputKeyType)
+	if err != nil {
+		return nil, err
+	}
+
+	server, err := newShuffleServer()
+	if err != nil {
+		return nil, err
+	}
+	defer server.Close()
+
+	// Map phase.
+	mapCtrs := make([]*mapreduce.Counters, len(splits))
+	err = parallelFor(len(splits), opts.MapParallelism, func(i int) error {
+		c, err := runMapTask(job, i, splits[i], cmp, numReduces, server)
+		mapCtrs[i] = c
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range mapCtrs {
+		total.Merge(c)
+	}
+
+	// Reduce phase (shuffle + sort + reduce per task).
+	redCtrs := make([]*mapreduce.Counters, numReduces)
+	err = parallelFor(numReduces, opts.ReduceParallelism, func(r int) error {
+		c, err := runReduceTask(job, r, len(splits), server.Addr(), cmp)
+		redCtrs[r] = c
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	perReduce := make([]int64, numReduces)
+	for r, c := range redCtrs {
+		perReduce[r] = c.Task(mapreduce.CtrReduceInputRecords)
+		total.Merge(c)
+	}
+
+	return &Result{
+		Counters:         total,
+		NumMaps:          len(splits),
+		NumReduces:       numReduces,
+		Elapsed:          time.Since(start),
+		PerReduceRecords: perReduce,
+	}, nil
+}
+
+// parallelFor runs fn(0..n-1) on up to `workers` goroutines and returns the
+// first error.
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		first  error
+		nextCh = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range nextCh {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		nextCh <- i
+	}
+	close(nextCh)
+	wg.Wait()
+	return first
+}
+
+// mapCollector routes mapper output into the sort buffer, spilling as the
+// buffer fills.
+type mapCollector struct {
+	job        *mapreduce.Job
+	part       mapreduce.Partitioner
+	buf        *kvbuf.SortBuffer
+	numReduces int
+	spillPct   float64
+	ctrs       *mapreduce.Counters
+	spills     [][]*kvbuf.Segment
+	enc        *writable.DataOutput
+}
+
+func (mc *mapCollector) Collect(key, value writable.Writable) error {
+	mc.enc.Reset()
+	key.Write(mc.enc)
+	kl := mc.enc.Len()
+	value.Write(mc.enc)
+	raw := mc.enc.Bytes()
+	kb, vb := raw[:kl], raw[kl:]
+
+	p := mc.part.Partition(key, value, mc.numReduces)
+	if p < 0 || p >= mc.numReduces {
+		return fmt.Errorf("localrun: partitioner returned %d for %d reduces", p, mc.numReduces)
+	}
+	ok, err := mc.buf.Add(p, kb, vb)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		if err := mc.spill(); err != nil {
+			return err
+		}
+		if ok, err = mc.buf.Add(p, kb, vb); err != nil || !ok {
+			return fmt.Errorf("localrun: record does not fit in empty sort buffer (err=%v)", err)
+		}
+	}
+	mc.ctrs.IncrTask(mapreduce.CtrMapOutputRecords, 1)
+	mc.ctrs.IncrTask(mapreduce.CtrMapOutputBytes, int64(len(raw)))
+	if mc.buf.ShouldSpill(mc.spillPct) {
+		return mc.spill()
+	}
+	return nil
+}
+
+func (mc *mapCollector) spill() error {
+	records := mc.buf.Records()
+	if records == 0 {
+		return nil
+	}
+	segs, _ := mc.buf.Spill()
+	if mc.job.Combiner != nil {
+		for p, seg := range segs {
+			if seg.Records() == 0 {
+				continue
+			}
+			combined, err := combineSegment(mc.job, seg, mc.ctrs)
+			if err != nil {
+				return err
+			}
+			segs[p] = combined
+		}
+	}
+	mc.ctrs.IncrTask(mapreduce.CtrSpilledRecords, int64(records))
+	mc.spills = append(mc.spills, segs)
+	return nil
+}
+
+func runMapTask(job *mapreduce.Job, idx int, split mapreduce.InputSplit, cmp writable.RawComparator, numReduces int, server *shuffleServer) (*mapreduce.Counters, error) {
+	ctrs := mapreduce.NewCounters()
+	rep := &mapreduce.CountersReporter{C: ctrs}
+	reader, err := job.Input.Reader(split, job.Conf)
+	if err != nil {
+		return ctrs, fmt.Errorf("localrun: map %d reader: %w", idx, err)
+	}
+	defer reader.Close()
+
+	part := job.Partitioner
+	if job.PartitionerForTask != nil {
+		part = func() mapreduce.Partitioner { return job.PartitionerForTask(idx) }
+	}
+	mc := &mapCollector{
+		job:        job,
+		part:       part(),
+		buf:        kvbuf.NewSortBuffer(job.Conf.IOSortMB()<<20, numReduces, cmp),
+		numReduces: numReduces,
+		spillPct:   job.Conf.SortSpillPercent(),
+		ctrs:       ctrs,
+		enc:        writable.NewDataOutput(256),
+	}
+	mapper := job.Mapper()
+	for {
+		k, v, ok, err := reader.Next()
+		if err != nil {
+			return ctrs, fmt.Errorf("localrun: map %d input: %w", idx, err)
+		}
+		if !ok {
+			break
+		}
+		ctrs.IncrTask(mapreduce.CtrMapInputRecords, 1)
+		if err := mapper.Map(k, v, mc, rep); err != nil {
+			return ctrs, fmt.Errorf("localrun: map %d: %w", idx, err)
+		}
+	}
+	if err := mapper.Close(mc, rep); err != nil {
+		return ctrs, fmt.Errorf("localrun: map %d close: %w", idx, err)
+	}
+	if err := mc.spill(); err != nil {
+		return ctrs, err
+	}
+	if len(mc.spills) == 0 {
+		// No output at all: publish empty segments so reducers find them.
+		empty := make([]*kvbuf.Segment, numReduces)
+		for p := range empty {
+			empty[p] = kvbuf.NewWriter(8).Close()
+		}
+		mc.spills = append(mc.spills, empty)
+	}
+
+	// Merge spills per partition into the final map output, compressing it
+	// when mapreduce.map.output.compress is set.
+	compress := job.Conf.GetBool(mapreduce.ConfCompressMapOut, false)
+	for p := 0; p < numReduces; p++ {
+		var final *kvbuf.Segment
+		if len(mc.spills) == 1 {
+			final = mc.spills[0][p]
+		} else {
+			parts := make([]*kvbuf.Segment, len(mc.spills))
+			for s := range mc.spills {
+				parts[s] = mc.spills[s][p]
+			}
+			merged, _, err := kvbuf.Merge(cmp, parts)
+			if err != nil {
+				return ctrs, fmt.Errorf("localrun: map %d final merge: %w", idx, err)
+			}
+			final = merged
+		}
+		if compress {
+			z, err := kvbuf.CompressSegment(final)
+			if err != nil {
+				return ctrs, fmt.Errorf("localrun: map %d compress: %w", idx, err)
+			}
+			final = z
+		}
+		server.Register(idx, p, final)
+	}
+	return ctrs, nil
+}
+
+// combineSegment runs the job's combiner over one sorted segment.
+func combineSegment(job *mapreduce.Job, seg *kvbuf.Segment, ctrs *mapreduce.Counters) (*kvbuf.Segment, error) {
+	recs, err := readAll(seg)
+	if err != nil {
+		return nil, err
+	}
+	cmp, err := writable.Comparator(job.MapOutputKeyType)
+	if err != nil {
+		return nil, err
+	}
+	w := kvbuf.NewWriter(seg.Len())
+	enc := writable.NewDataOutput(256)
+	out := mapreduce.CollectorFunc(func(k, v writable.Writable) error {
+		enc.Reset()
+		k.Write(enc)
+		kl := enc.Len()
+		v.Write(enc)
+		raw := enc.Bytes()
+		w.Append(raw[:kl], raw[kl:])
+		ctrs.IncrTask(mapreduce.CtrCombineOutputRecs, 1)
+		return nil
+	})
+	combiner := job.Combiner()
+	rep := &mapreduce.CountersReporter{C: ctrs}
+	gi := kvbuf.NewGroupIterator(cmp, recs)
+	keyInst, _ := writable.New(job.MapOutputKeyType)
+	for {
+		kb, vals, ok := gi.NextGroup()
+		if !ok {
+			break
+		}
+		if err := writable.Unmarshal(kb, keyInst); err != nil {
+			return nil, err
+		}
+		ctrs.IncrTask(mapreduce.CtrCombineInputRecords, int64(len(vals)))
+		it := newValueIter(job.MapOutputValueType, vals)
+		if err := combiner.Reduce(keyInst, it, out, rep); err != nil {
+			return nil, err
+		}
+		if it.err != nil {
+			return nil, it.err
+		}
+	}
+	if err := combiner.Close(out, rep); err != nil {
+		return nil, err
+	}
+	return w.Close(), nil
+}
+
+func readAll(seg *kvbuf.Segment) ([]kvbuf.Record, error) {
+	var recs []kvbuf.Record
+	r := seg.NewReader()
+	for {
+		k, v, ok, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return recs, nil
+		}
+		recs = append(recs, kvbuf.Record{Key: k, Val: v})
+	}
+}
+
+// valueIter deserializes raw values into a reused Writable instance.
+type valueIter struct {
+	vals [][]byte
+	pos  int
+	inst writable.Writable
+	err  error
+}
+
+func newValueIter(valType string, vals [][]byte) *valueIter {
+	inst, err := writable.New(valType)
+	return &valueIter{vals: vals, inst: inst, err: err}
+}
+
+func (it *valueIter) Next() (writable.Writable, bool) {
+	if it.err != nil || it.pos >= len(it.vals) {
+		return nil, false
+	}
+	if err := writable.Unmarshal(it.vals[it.pos], it.inst); err != nil {
+		it.err = err
+		return nil, false
+	}
+	it.pos++
+	return it.inst, true
+}
+
+func runReduceTask(job *mapreduce.Job, r, numMaps int, serverAddr string, cmp writable.RawComparator) (*mapreduce.Counters, error) {
+	ctrs := mapreduce.NewCounters()
+	rep := &mapreduce.CountersReporter{C: ctrs}
+
+	// Shuffle: fetch this partition's segment from every map, with
+	// parallelcopies concurrent fetchers.
+	segs := make([]*kvbuf.Segment, numMaps)
+	var mu sync.Mutex
+	compressed := job.Conf.GetBool(mapreduce.ConfCompressMapOut, false)
+	err := parallelFor(numMaps, job.Conf.ParallelCopies(), func(m int) error {
+		seg, err := fetchSegment(serverAddr, m, r)
+		if err != nil {
+			return err
+		}
+		wireLen := int64(seg.Len())
+		if compressed {
+			// Shuffle moves compressed bytes; the reducer inflates them.
+			seg = kvbuf.CompressedSegmentFromBytes(seg.Bytes())
+			if seg, err = seg.Decompress(); err != nil {
+				return fmt.Errorf("localrun: reduce %d map %d: %w", r, m, err)
+			}
+		}
+		mu.Lock()
+		segs[m] = seg
+		ctrs.IncrTask(mapreduce.CtrShuffledMaps, 1)
+		ctrs.IncrTask(mapreduce.CtrReduceShuffleBytes, wireLen)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return ctrs, fmt.Errorf("localrun: reduce %d shuffle: %w", r, err)
+	}
+
+	// Sort: merge all map segments.
+	var recs []kvbuf.Record
+	if _, err := kvbuf.MergeStream(cmp, segs, func(k, v []byte) error {
+		recs = append(recs, kvbuf.Record{Key: k, Val: v})
+		return nil
+	}); err != nil {
+		return ctrs, fmt.Errorf("localrun: reduce %d merge: %w", r, err)
+	}
+	ctrs.IncrTask(mapreduce.CtrMergedMapOutputs, int64(numMaps))
+	if err := kvbuf.Validate(cmp, recs); err != nil {
+		return ctrs, fmt.Errorf("localrun: reduce %d: %w", r, err)
+	}
+
+	// Reduce.
+	writer, err := job.Output.Writer(job.Conf, r)
+	if err != nil {
+		return ctrs, fmt.Errorf("localrun: reduce %d output: %w", r, err)
+	}
+	out := mapreduce.CollectorFunc(func(k, v writable.Writable) error {
+		ctrs.IncrTask(mapreduce.CtrReduceOutputRecords, 1)
+		return writer.Write(k, v)
+	})
+	reducer := job.Reducer()
+	gi := kvbuf.NewGroupIterator(cmp, recs)
+	keyInst, err := writable.New(job.MapOutputKeyType)
+	if err != nil {
+		return ctrs, err
+	}
+	for {
+		kb, vals, ok := gi.NextGroup()
+		if !ok {
+			break
+		}
+		if err := writable.Unmarshal(kb, keyInst); err != nil {
+			return ctrs, fmt.Errorf("localrun: reduce %d key: %w", r, err)
+		}
+		ctrs.IncrTask(mapreduce.CtrReduceInputGroups, 1)
+		ctrs.IncrTask(mapreduce.CtrReduceInputRecords, int64(len(vals)))
+		it := newValueIter(job.MapOutputValueType, vals)
+		if err := reducer.Reduce(keyInst, it, out, rep); err != nil {
+			return ctrs, fmt.Errorf("localrun: reduce %d: %w", r, err)
+		}
+		if it.err != nil {
+			return ctrs, fmt.Errorf("localrun: reduce %d values: %w", r, it.err)
+		}
+	}
+	if err := reducer.Close(out, rep); err != nil {
+		return ctrs, err
+	}
+	if err := writer.Close(); err != nil {
+		return ctrs, err
+	}
+	return ctrs, nil
+}
+
+func runMapOnly(job *mapreduce.Job, idx int, split mapreduce.InputSplit) (*mapreduce.Counters, error) {
+	ctrs := mapreduce.NewCounters()
+	rep := &mapreduce.CountersReporter{C: ctrs}
+	reader, err := job.Input.Reader(split, job.Conf)
+	if err != nil {
+		return ctrs, err
+	}
+	defer reader.Close()
+	writer, err := job.Output.Writer(job.Conf, idx)
+	if err != nil {
+		return ctrs, err
+	}
+	out := mapreduce.CollectorFunc(func(k, v writable.Writable) error {
+		ctrs.IncrTask(mapreduce.CtrMapOutputRecords, 1)
+		return writer.Write(k, v)
+	})
+	mapper := job.Mapper()
+	for {
+		k, v, ok, err := reader.Next()
+		if err != nil {
+			return ctrs, err
+		}
+		if !ok {
+			break
+		}
+		ctrs.IncrTask(mapreduce.CtrMapInputRecords, 1)
+		if err := mapper.Map(k, v, out, rep); err != nil {
+			return ctrs, err
+		}
+	}
+	if err := mapper.Close(out, rep); err != nil {
+		return ctrs, err
+	}
+	return ctrs, writer.Close()
+}

@@ -1,0 +1,144 @@
+// Package localrun executes MapReduce jobs for real, in process: real
+// mapper/reducer code over real bytes, the kvbuf sort/spill/merge machinery,
+// and a genuine TCP shuffle on the loopback interface (the moral equivalent
+// of Hadoop's HTTP shuffle servlet). It is the correctness anchor for the
+// suite: what the simulated engines time, localrun actually does.
+package localrun
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"mrmicro/internal/kvbuf"
+)
+
+// shuffleServer serves completed map-output partitions over TCP.
+//
+// Wire protocol (binary, big-endian): request = uint32 map index, uint32
+// partition; response = 1 status byte (0 = ok) then uint64 payload length
+// and the raw IFile segment bytes.
+type shuffleServer struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	segments map[[2]int]*kvbuf.Segment
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+func newShuffleServer() (*shuffleServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("localrun: shuffle listener: %w", err)
+	}
+	s := &shuffleServer{ln: ln, segments: make(map[[2]int]*kvbuf.Segment)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's dialable address.
+func (s *shuffleServer) Addr() string { return s.ln.Addr().String() }
+
+// Register publishes a map task's output for one partition.
+func (s *shuffleServer) Register(mapIdx, partition int, seg *kvbuf.Segment) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.segments[[2]int{mapIdx, partition}] = seg
+}
+
+func (s *shuffleServer) lookup(mapIdx, partition int) (*kvbuf.Segment, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seg, ok := s.segments[[2]int{mapIdx, partition}]
+	return seg, ok
+}
+
+func (s *shuffleServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *shuffleServer) serve(conn net.Conn) {
+	var req [8]byte
+	for {
+		if _, err := io.ReadFull(conn, req[:]); err != nil {
+			return // client done
+		}
+		mapIdx := int(binary.BigEndian.Uint32(req[:4]))
+		part := int(binary.BigEndian.Uint32(req[4:]))
+		seg, ok := s.lookup(mapIdx, part)
+		if !ok {
+			conn.Write([]byte{1})
+			return
+		}
+		var hdr [9]byte
+		hdr[0] = 0
+		binary.BigEndian.PutUint64(hdr[1:], uint64(seg.Len()))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			return
+		}
+		if _, err := conn.Write(seg.Bytes()); err != nil {
+			return
+		}
+	}
+}
+
+// Close shuts the listener and waits for in-flight connections.
+func (s *shuffleServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+// fetchSegment retrieves one map-output partition from a shuffle server.
+func fetchSegment(addr string, mapIdx, partition int) (*kvbuf.Segment, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("localrun: shuffle dial: %w", err)
+	}
+	defer conn.Close()
+	var req [8]byte
+	binary.BigEndian.PutUint32(req[:4], uint32(mapIdx))
+	binary.BigEndian.PutUint32(req[4:], uint32(partition))
+	if _, err := conn.Write(req[:]); err != nil {
+		return nil, fmt.Errorf("localrun: shuffle request: %w", err)
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(conn, status[:]); err != nil {
+		return nil, fmt.Errorf("localrun: shuffle status: %w", err)
+	}
+	if status[0] != 0 {
+		return nil, fmt.Errorf("localrun: map %d partition %d not found on server", mapIdx, partition)
+	}
+	var lenBuf [8]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("localrun: shuffle length: %w", err)
+	}
+	n := binary.BigEndian.Uint64(lenBuf[:])
+	data := make([]byte, n)
+	if _, err := io.ReadFull(conn, data); err != nil {
+		return nil, fmt.Errorf("localrun: shuffle payload: %w", err)
+	}
+	return kvbuf.SegmentFromBytes(data), nil
+}

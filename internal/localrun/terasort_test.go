@@ -1,0 +1,152 @@
+package localrun
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mrmicro/internal/javarand"
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/seqfile"
+	"mrmicro/internal/writable"
+)
+
+// TestTeraSortPipeline runs the full sort workload for real: SequenceFile
+// inputs on disk, sampled total-order cut points, identity map/reduce
+// through the engine, SequenceFile outputs, global-order validation —
+// the examples/terasort flow as a CI check.
+func TestTeraSortPipeline(t *testing.T) {
+	const (
+		records = 4200
+		files   = 3 // divides records evenly
+		reduces = 4
+	)
+	dir := t.TempDir()
+	inDir := filepath.Join(dir, "in")
+	outDir := filepath.Join(dir, "out")
+	if err := os.MkdirAll(inDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := javarand.New(7)
+	for f := 0; f < files; f++ {
+		file, err := os.Create(filepath.Join(inDir, fmt.Sprintf("gen-%d.seq", f)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := seqfile.NewWriter(file, "BytesWritable", "BytesWritable")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < records/files; i++ {
+			k := make([]byte, 10)
+			v := make([]byte, 30)
+			rng.NextBytes(k)
+			rng.NextBytes(v)
+			if err := w.Append(&writable.BytesWritable{Data: k}, &writable.BytesWritable{Data: v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		file.Close()
+	}
+
+	input := &mapreduce.SequenceFileInput{Paths: []string{inDir}}
+	conf := mapreduce.NewConf().
+		SetInt(mapreduce.ConfNumMaps, files).
+		SetInt(mapreduce.ConfNumReduces, reduces).
+		SetInt(mapreduce.ConfIOSortMB, 1)
+	cuts, err := mapreduce.SampleSplitPoints(input, conf, "BytesWritable", reduces, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, _ := writable.Comparator("BytesWritable")
+
+	copyBW := func(w writable.Writable) *writable.BytesWritable {
+		b := w.(*writable.BytesWritable)
+		return &writable.BytesWritable{Data: append([]byte(nil), b.Data...)}
+	}
+	job := &mapreduce.Job{
+		Name: "terasort-test",
+		Conf: conf,
+		Mapper: func() mapreduce.Mapper {
+			return mapreduce.MapperFunc(func(k, v writable.Writable, o mapreduce.Collector, _ mapreduce.Reporter) error {
+				return o.Collect(k, v)
+			})
+		},
+		Reducer: func() mapreduce.Reducer {
+			return mapreduce.ReducerFunc(func(k writable.Writable, vs mapreduce.ValueIterator, o mapreduce.Collector, _ mapreduce.Reporter) error {
+				key := copyBW(k)
+				for {
+					v, ok := vs.Next()
+					if !ok {
+						return nil
+					}
+					if err := o.Collect(key, copyBW(v)); err != nil {
+						return err
+					}
+				}
+			})
+		},
+		Partitioner: func() mapreduce.Partitioner {
+			p, err := mapreduce.NewTotalOrderPartitioner(cmp, cuts)
+			if err != nil {
+				panic(err)
+			}
+			return p
+		},
+		Input:              input,
+		Output:             &mapreduce.SequenceFileOutput{Dir: outDir, KeyClass: "BytesWritable", ValueClass: "BytesWritable"},
+		MapOutputKeyType:   "BytesWritable",
+		MapOutputValueType: "BytesWritable",
+	}
+	res, err := Run(job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Counters.Task(mapreduce.CtrReduceOutputRecords); got != records {
+		t.Errorf("output records = %d, want %d", got, records)
+	}
+
+	// Validate global order across part files.
+	var prev []byte
+	total := 0
+	for r := 0; r < reduces; r++ {
+		f, err := os.Open(filepath.Join(outDir, fmt.Sprintf("part-r-%05d", r)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := seqfile.NewReader(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			k, _, ok, err := sr.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			raw := writable.Marshal(k)
+			if prev != nil && cmp(prev, raw) > 0 {
+				t.Fatalf("global order violated at part %d", r)
+			}
+			prev = raw
+			total++
+		}
+		f.Close()
+	}
+	if total != records {
+		t.Errorf("validated %d records, want %d", total, records)
+	}
+	// Every reducer got a nontrivial share (sampled cuts are balanced-ish).
+	for r, n := range res.PerReduceRecords {
+		if n < records/reduces/4 {
+			t.Errorf("reducer %d got only %d records (poor balance)", r, n)
+		}
+	}
+}

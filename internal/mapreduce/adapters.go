@@ -1,0 +1,68 @@
+package mapreduce
+
+import "mrmicro/internal/writable"
+
+// MapperFunc adapts a plain function (with a no-op Close) to Mapper.
+type MapperFunc func(key, value writable.Writable, out Collector, rep Reporter) error
+
+// Map invokes the function.
+func (f MapperFunc) Map(key, value writable.Writable, out Collector, rep Reporter) error {
+	return f(key, value, out, rep)
+}
+
+// Close is a no-op.
+func (MapperFunc) Close(Collector, Reporter) error { return nil }
+
+// ReducerFunc adapts a plain function (with a no-op Close) to Reducer.
+type ReducerFunc func(key writable.Writable, values ValueIterator, out Collector, rep Reporter) error
+
+// Reduce invokes the function.
+func (f ReducerFunc) Reduce(key writable.Writable, values ValueIterator, out Collector, rep Reporter) error {
+	return f(key, values, out, rep)
+}
+
+// Close is a no-op.
+func (ReducerFunc) Close(Collector, Reporter) error { return nil }
+
+// PartitionerFunc adapts a plain function to Partitioner.
+type PartitionerFunc func(key, value writable.Writable, numReduces int) int
+
+// Partition invokes the function.
+func (f PartitionerFunc) Partition(key, value writable.Writable, numReduces int) int {
+	return f(key, value, numReduces)
+}
+
+// CollectorFunc adapts a function to Collector.
+type CollectorFunc func(key, value writable.Writable) error
+
+// Collect invokes the function.
+func (f CollectorFunc) Collect(key, value writable.Writable) error { return f(key, value) }
+
+// NullReporter discards progress and counter updates (for tests and tools).
+type NullReporter struct{}
+
+// Progress is a no-op.
+func (NullReporter) Progress() {}
+
+// IncrCounter is a no-op.
+func (NullReporter) IncrCounter(string, string, int64) {}
+
+// SetStatus is a no-op.
+func (NullReporter) SetStatus(string) {}
+
+// CountersReporter records counter updates into a Counters set.
+type CountersReporter struct {
+	C      *Counters
+	Status string
+}
+
+// Progress is a no-op.
+func (r *CountersReporter) Progress() {}
+
+// IncrCounter adds to the underlying counters.
+func (r *CountersReporter) IncrCounter(group, name string, amount int64) {
+	r.C.Incr(group, name, amount)
+}
+
+// SetStatus records the latest status line.
+func (r *CountersReporter) SetStatus(s string) { r.Status = s }

@@ -1,0 +1,159 @@
+// Package mapreduce defines the engine-neutral core of a Hadoop-style
+// MapReduce framework: job configuration with Hadoop parameter names, the
+// Mapper/Reducer/Partitioner/Combiner contracts, input/output formats,
+// task identifiers, and counters.
+//
+// Two executors consume this API: localrun (real in-process execution over
+// real bytes, the correctness anchor) and the simulated engines mrv1/yarn
+// (timing-accurate execution on a modelled cluster, the measurement
+// instrument).
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Conf is a string-keyed job configuration, like Hadoop's Configuration.
+// Unset keys fall back to the caller-supplied default, so engines behave
+// like Hadoop's *-default.xml without a config file.
+type Conf struct {
+	m map[string]string
+}
+
+// Hadoop 1.x/2.x parameter names used throughout the suite.
+const (
+	ConfNumMaps            = "mapreduce.job.maps"
+	ConfNumReduces         = "mapreduce.job.reduces"
+	ConfIOSortMB           = "mapreduce.task.io.sort.mb"
+	ConfIOSortFactor       = "mapreduce.task.io.sort.factor"
+	ConfSortSpillPercent   = "mapreduce.map.sort.spill.percent"
+	ConfParallelCopies     = "mapreduce.reduce.shuffle.parallelcopies"
+	ConfSlowstartMaps      = "mapreduce.job.reduce.slowstart.completedmaps"
+	ConfShuffleInputBufPct = "mapreduce.reduce.shuffle.input.buffer.percent"
+	ConfShuffleMergePct    = "mapreduce.reduce.shuffle.merge.percent"
+	ConfMapSlots           = "mapreduce.tasktracker.map.tasks.maximum"
+	ConfReduceSlots        = "mapreduce.tasktracker.reduce.tasks.maximum"
+	ConfMapMemoryMB        = "mapreduce.map.memory.mb"
+	ConfReduceMemoryMB     = "mapreduce.reduce.memory.mb"
+	ConfNodeMemoryMB       = "yarn.nodemanager.resource.memory-mb"
+	ConfSpeculative        = "mapreduce.map.speculative"
+	ConfCombineClass       = "mapreduce.job.combine.class"
+	ConfCompressMapOut     = "mapreduce.map.output.compress"
+	ConfCompressRatio      = "mapreduce.map.output.compress.ratio" // sim-only: modelled output/input ratio
+	ConfJobName            = "mapreduce.job.name"
+)
+
+// NewConf returns an empty configuration.
+func NewConf() *Conf { return &Conf{m: make(map[string]string)} }
+
+// Clone returns a deep copy.
+func (c *Conf) Clone() *Conf {
+	out := NewConf()
+	for k, v := range c.m {
+		out.m[k] = v
+	}
+	return out
+}
+
+// Set stores a string value.
+func (c *Conf) Set(key, value string) *Conf {
+	c.m[key] = value
+	return c
+}
+
+// SetInt stores an integer value.
+func (c *Conf) SetInt(key string, value int) *Conf { return c.Set(key, strconv.Itoa(value)) }
+
+// SetFloat stores a float value.
+func (c *Conf) SetFloat(key string, value float64) *Conf {
+	return c.Set(key, strconv.FormatFloat(value, 'g', -1, 64))
+}
+
+// SetBool stores a boolean value.
+func (c *Conf) SetBool(key string, value bool) *Conf { return c.Set(key, strconv.FormatBool(value)) }
+
+// Get returns the raw value or def when unset.
+func (c *Conf) Get(key, def string) string {
+	if v, ok := c.m[key]; ok {
+		return v
+	}
+	return def
+}
+
+// GetInt returns an integer value or def when unset; malformed values panic
+// (a configuration bug, not a runtime condition).
+func (c *Conf) GetInt(key string, def int) int {
+	v, ok := c.m[key]
+	if !ok {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		panic(fmt.Sprintf("mapreduce: conf key %q = %q is not an int", key, v))
+	}
+	return n
+}
+
+// GetFloat returns a float value or def when unset.
+func (c *Conf) GetFloat(key string, def float64) float64 {
+	v, ok := c.m[key]
+	if !ok {
+		return def
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		panic(fmt.Sprintf("mapreduce: conf key %q = %q is not a float", key, v))
+	}
+	return f
+}
+
+// GetBool returns a boolean value or def when unset.
+func (c *Conf) GetBool(key string, def bool) bool {
+	v, ok := c.m[key]
+	if !ok {
+		return def
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		panic(fmt.Sprintf("mapreduce: conf key %q = %q is not a bool", key, v))
+	}
+	return b
+}
+
+// Keys returns the set keys in sorted order (for reproducible report echo).
+func (c *Conf) Keys() []string {
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Common derived accessors with Hadoop defaults of the paper's era.
+
+// NumMaps returns mapreduce.job.maps (default 2).
+func (c *Conf) NumMaps() int { return c.GetInt(ConfNumMaps, 2) }
+
+// NumReduces returns mapreduce.job.reduces (default 1).
+func (c *Conf) NumReduces() int { return c.GetInt(ConfNumReduces, 1) }
+
+// IOSortMB returns the map-side sort buffer size in MiB (default 100).
+func (c *Conf) IOSortMB() int { return c.GetInt(ConfIOSortMB, 100) }
+
+// IOSortFactor returns the merge fan-in (default 10).
+func (c *Conf) IOSortFactor() int { return c.GetInt(ConfIOSortFactor, 10) }
+
+// SortSpillPercent returns the buffer fill fraction that triggers a spill
+// (default 0.80).
+func (c *Conf) SortSpillPercent() float64 { return c.GetFloat(ConfSortSpillPercent, 0.80) }
+
+// ParallelCopies returns the number of concurrent shuffle fetchers per
+// reducer (default 5).
+func (c *Conf) ParallelCopies() int { return c.GetInt(ConfParallelCopies, 5) }
+
+// SlowstartMaps returns the completed-map fraction before reducers launch
+// (default 0.05).
+func (c *Conf) SlowstartMaps() float64 { return c.GetFloat(ConfSlowstartMaps, 0.05) }

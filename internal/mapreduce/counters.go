@@ -1,0 +1,87 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Standard counter group and names, mirroring Hadoop's TaskCounter.
+const (
+	CounterGroupTask = "org.apache.hadoop.mapreduce.TaskCounter"
+
+	CtrMapInputRecords     = "MAP_INPUT_RECORDS"
+	CtrMapOutputRecords    = "MAP_OUTPUT_RECORDS"
+	CtrMapOutputBytes      = "MAP_OUTPUT_BYTES"
+	CtrCombineInputRecords = "COMBINE_INPUT_RECORDS"
+	CtrCombineOutputRecs   = "COMBINE_OUTPUT_RECORDS"
+	CtrSpilledRecords      = "SPILLED_RECORDS"
+	CtrShuffledMaps        = "SHUFFLED_MAPS"
+	CtrReduceShuffleBytes  = "REDUCE_SHUFFLE_BYTES"
+	CtrReduceInputGroups   = "REDUCE_INPUT_GROUPS"
+	CtrReduceInputRecords  = "REDUCE_INPUT_RECORDS"
+	CtrReduceOutputRecords = "REDUCE_OUTPUT_RECORDS"
+	CtrMergedMapOutputs    = "MERGED_MAP_OUTPUTS"
+)
+
+// Counters is a two-level named counter set. It is not safe for concurrent
+// use; each task keeps its own and the engine merges on completion (as
+// Hadoop does via task umbilical updates).
+type Counters struct {
+	groups map[string]map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{groups: make(map[string]map[string]int64)}
+}
+
+// Incr adds amount to group/name.
+func (c *Counters) Incr(group, name string, amount int64) {
+	g, ok := c.groups[group]
+	if !ok {
+		g = make(map[string]int64)
+		c.groups[group] = g
+	}
+	g[name] += amount
+}
+
+// Get returns group/name's value (0 when unset).
+func (c *Counters) Get(group, name string) int64 { return c.groups[group][name] }
+
+// Task returns the standard task-counter value for name.
+func (c *Counters) Task(name string) int64 { return c.Get(CounterGroupTask, name) }
+
+// IncrTask adds to a standard task counter.
+func (c *Counters) IncrTask(name string, amount int64) { c.Incr(CounterGroupTask, name, amount) }
+
+// Merge folds other into c.
+func (c *Counters) Merge(other *Counters) {
+	for g, names := range other.groups {
+		for n, v := range names {
+			c.Incr(g, n, v)
+		}
+	}
+}
+
+// String renders the counters Hadoop-log style, groups and names sorted.
+func (c *Counters) String() string {
+	var b strings.Builder
+	groups := make([]string, 0, len(c.groups))
+	for g := range c.groups {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		fmt.Fprintf(&b, "%s\n", g)
+		names := make([]string, 0, len(c.groups[g]))
+		for n := range c.groups[g] {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "\t%s=%d\n", n, c.groups[g][n])
+		}
+	}
+	return b.String()
+}

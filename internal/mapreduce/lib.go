@@ -1,0 +1,127 @@
+package mapreduce
+
+import (
+	"strings"
+
+	"mrmicro/internal/writable"
+)
+
+// Stock task implementations mirroring Hadoop's org.apache.hadoop.mapreduce.lib
+// classes, so common jobs need no custom code.
+
+// IdentityMapper emits every input record unchanged (Hadoop's Mapper base
+// behaviour).
+type IdentityMapper struct{}
+
+// Map forwards the record.
+func (IdentityMapper) Map(k, v writable.Writable, out Collector, _ Reporter) error {
+	return out.Collect(k, v)
+}
+
+// Close is a no-op.
+func (IdentityMapper) Close(Collector, Reporter) error { return nil }
+
+// IdentityReducer re-emits each key with each of its values (Hadoop's
+// Reducer base behaviour). Keys and values are deep-copied through
+// serialization because engines reuse the instances across calls.
+type IdentityReducer struct {
+	// KeyType/ValueType name the registered types used to copy records.
+	KeyType, ValueType string
+}
+
+// Reduce forwards the group.
+func (r IdentityReducer) Reduce(k writable.Writable, vs ValueIterator, out Collector, _ Reporter) error {
+	for {
+		v, ok := vs.Next()
+		if !ok {
+			return nil
+		}
+		kc, err := copyWritable(r.KeyType, k)
+		if err != nil {
+			return err
+		}
+		vc, err := copyWritable(r.ValueType, v)
+		if err != nil {
+			return err
+		}
+		if err := out.Collect(kc, vc); err != nil {
+			return err
+		}
+	}
+}
+
+// Close is a no-op.
+func (IdentityReducer) Close(Collector, Reporter) error { return nil }
+
+func copyWritable(typeName string, w writable.Writable) (writable.Writable, error) {
+	fresh, err := writable.New(typeName)
+	if err != nil {
+		return nil, err
+	}
+	if err := writable.Unmarshal(writable.Marshal(w), fresh); err != nil {
+		return nil, err
+	}
+	return fresh, nil
+}
+
+// TokenCounterMapper splits Text values into whitespace tokens and emits
+// (token, 1), Hadoop's lib.map.TokenCounterMapper.
+type TokenCounterMapper struct{}
+
+// Map tokenizes the value.
+func (TokenCounterMapper) Map(_, v writable.Writable, out Collector, _ Reporter) error {
+	one := &writable.LongWritable{Value: 1}
+	for _, tok := range strings.Fields(v.(*writable.Text).String()) {
+		if err := out.Collect(writable.NewText(tok), one); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close is a no-op.
+func (TokenCounterMapper) Close(Collector, Reporter) error { return nil }
+
+// LongSumReducer sums LongWritable values per key, Hadoop's
+// lib.reduce.LongSumReducer. It doubles as a combiner.
+type LongSumReducer struct{}
+
+// Reduce emits (key, sum).
+func (LongSumReducer) Reduce(k writable.Writable, vs ValueIterator, out Collector, _ Reporter) error {
+	var sum int64
+	for {
+		v, ok := vs.Next()
+		if !ok {
+			break
+		}
+		sum += v.(*writable.LongWritable).Value
+	}
+	kc, err := copyWritable("Text", k)
+	if err != nil {
+		// Non-Text keys: fall back to serialized copy via the key's own bytes.
+		kc = k
+	}
+	return out.Collect(kc, &writable.LongWritable{Value: sum})
+}
+
+// Close is a no-op.
+func (LongSumReducer) Close(Collector, Reporter) error { return nil }
+
+// WordCountJob assembles the canonical wordcount over a text corpus with
+// TokenCounterMapper + LongSumReducer (combiner included) — the two-line
+// "hello world" of the library.
+func WordCountJob(text string, maps, reduces int, output OutputFormat) *Job {
+	return &Job{
+		Name: "wordcount",
+		Conf: NewConf().
+			SetInt(ConfNumMaps, maps).
+			SetInt(ConfNumReduces, reduces),
+		Mapper:             func() Mapper { return TokenCounterMapper{} },
+		Reducer:            func() Reducer { return LongSumReducer{} },
+		Combiner:           func() Reducer { return LongSumReducer{} },
+		Input:              &TextInput{Text: text},
+		Output:             output,
+		MapOutputKeyType:   "Text",
+		MapOutputValueType: "LongWritable",
+	}
+}

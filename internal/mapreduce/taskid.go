@@ -1,0 +1,83 @@
+package mapreduce
+
+import "fmt"
+
+// TaskType distinguishes map from reduce tasks.
+type TaskType int
+
+// Task types.
+const (
+	TaskMap TaskType = iota
+	TaskReduce
+)
+
+// String returns Hadoop's single-letter task-type code.
+func (t TaskType) String() string {
+	if t == TaskMap {
+		return "m"
+	}
+	return "r"
+}
+
+// JobID identifies a job within an engine instance.
+type JobID struct {
+	Seq int
+}
+
+// String formats like Hadoop: job_local_0001.
+func (j JobID) String() string { return fmt.Sprintf("job_%04d", j.Seq) }
+
+// TaskID identifies one logical task of a job.
+type TaskID struct {
+	Job   JobID
+	Type  TaskType
+	Index int
+}
+
+// String formats like Hadoop: task_0001_m_000003.
+func (t TaskID) String() string {
+	return fmt.Sprintf("task_%04d_%s_%06d", t.Job.Seq, t.Type, t.Index)
+}
+
+// TaskAttemptID identifies one execution attempt of a task (retries and
+// speculative copies get fresh attempt numbers).
+type TaskAttemptID struct {
+	Task    TaskID
+	Attempt int
+}
+
+// String formats like Hadoop: attempt_0001_m_000003_0.
+func (a TaskAttemptID) String() string {
+	return fmt.Sprintf("attempt_%04d_%s_%06d_%d", a.Task.Job.Seq, a.Task.Type, a.Task.Index, a.Attempt)
+}
+
+// Phase labels a job's internal phases for timing breakdowns.
+type Phase int
+
+// Phases in execution order.
+const (
+	PhaseSetup Phase = iota
+	PhaseMap
+	PhaseShuffle
+	PhaseSort
+	PhaseReduce
+	PhaseCleanup
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseSetup:
+		return "setup"
+	case PhaseMap:
+		return "map"
+	case PhaseShuffle:
+		return "shuffle"
+	case PhaseSort:
+		return "sort"
+	case PhaseReduce:
+		return "reduce"
+	default:
+		return "cleanup"
+	}
+}

@@ -1,0 +1,53 @@
+package microbench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render formats a Result the way the paper describes the suite's output:
+// "We display the configuration parameters and resource utilization
+// statistics for each test, along with the final job execution time."
+func (r *Result) Render() string {
+	var b strings.Builder
+	cfg := r.Config
+	fmt.Fprintf(&b, "=== %s micro-benchmark ===\n", cfg.Pattern)
+	fmt.Fprintf(&b, "Configuration:\n")
+	fmt.Fprintf(&b, "  engine              %s (cluster %s, %d slaves)\n", cfg.Engine, cfg.Cluster, cfg.Slaves)
+	fmt.Fprintf(&b, "  network             %s", cfg.Network)
+	if cfg.RDMAShuffle {
+		fmt.Fprintf(&b, " + RDMA-enhanced shuffle (MRoIB)")
+	}
+	fmt.Fprintf(&b, "\n")
+	fmt.Fprintf(&b, "  map/reduce tasks    %d / %d\n", cfg.NumMaps, cfg.NumReduces)
+	fmt.Fprintf(&b, "  key/value size      %d / %d bytes (%s)\n", cfg.KeySize, cfg.ValueSize, cfg.DataType)
+	fmt.Fprintf(&b, "  pairs per map       %d\n", cfg.PairsPerMap)
+	fmt.Fprintf(&b, "  shuffle data size   %s\n", FormatBytes(cfg.ShuffleBytes()))
+	fmt.Fprintf(&b, "Results:\n")
+	fmt.Fprintf(&b, "  job execution time  %.1f s\n", r.JobSeconds())
+	fmt.Fprintf(&b, "  map phase           %.1f s\n", r.Report.MapPhaseSeconds())
+	fmt.Fprintf(&b, "  reduce tail         %.1f s\n", r.Report.ReduceTailSeconds())
+	fmt.Fprintf(&b, "  shuffled bytes      %s\n", FormatBytes(r.ShuffleBytes))
+	if len(r.Samples) > 0 {
+		fmt.Fprintf(&b, "Resource utilization (slave averages):\n")
+		fmt.Fprintf(&b, "  peak network rx     %.0f MB/s\n", r.PeakRxMBps())
+		fmt.Fprintf(&b, "  mean CPU            %.1f %%\n", r.MeanCPUPct())
+	}
+	return b.String()
+}
+
+// FormatBytes renders a byte count with binary units.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<40:
+		return fmt.Sprintf("%.1f TiB", float64(n)/(1<<40))
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

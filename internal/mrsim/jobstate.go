@@ -1,0 +1,148 @@
+package mrsim
+
+import (
+	"mrmicro/internal/cluster"
+	"mrmicro/internal/costmodel"
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/sim"
+)
+
+// JobState is one job in execution on a simulated cluster. Schedulers
+// (mrv1's JobTracker, yarn's ApplicationMaster) decide when and where task
+// bodies run; JobState carries the shared execution machinery: the
+// completed-map feed reducers fetch from, placement records, phase
+// timestamps and counters.
+type JobState struct {
+	Spec    *JobSpec
+	Cluster *cluster.Cluster
+	Model   *costmodel.Model
+
+	CompletedMaps []int // map indices in completion order
+	MapLoc        []int // node index that ran each map
+	MapsDone      int
+	MapCompletion sim.Cond // broadcast on every map completion and spill
+	AllDone       sim.WaitGroup
+
+	// SpillFeed is the per-spill availability stream consumed by eager
+	// (RDMA) shuffle plugins; stock Hadoop reducers ignore it and wait for
+	// whole-map completions.
+	SpillFeed []SpillEvent
+
+	// Attempt bookkeeping (failure injection + speculative execution).
+	MapAttempts     []int  // attempts launched per map task
+	ReduceAttempts  []int  // attempts launched per reduce task
+	MapCompleted    []bool // first successful completion wins
+	ReduceCompleted []bool
+	MapStarted      []sim.Time // first-attempt start, for speculation
+	MapRuntimeSum   float64    // seconds, over successful completions
+	FailedAttempts  int        // total injected-fault attempt deaths
+	spillOwner      []bool     // eager-spill stream ownership per map
+
+	Finished bool
+	Report   *Report
+	Done     *sim.Future
+}
+
+// SpillEvent announces that spill Index of Of from map Map is fetchable on
+// Node. The node rides along because MapLoc can be overwritten by a later
+// (speculative or retried) attempt while eager fetchers are still pulling
+// the publisher's spills.
+type SpillEvent struct {
+	Map   int
+	Index int
+	Of    int
+	Node  int
+}
+
+// ChunkOf returns the share of a whole-map segment that one spill of `of`
+// carries (the last spill takes the rounding remainder).
+func ChunkOf(total int64, index, of int) int64 {
+	if of <= 1 {
+		return total
+	}
+	base := total / int64(of)
+	if index == of-1 {
+		return total - base*int64(of-1)
+	}
+	return base
+}
+
+// PublishSpill appends a spill-availability event and wakes waiting
+// fetchers.
+func (js *JobState) PublishSpill(mapIdx, index, of, node int) {
+	js.SpillFeed = append(js.SpillFeed, SpillEvent{Map: mapIdx, Index: index, Of: of, Node: node})
+	js.MapCompletion.Broadcast()
+}
+
+// NewJobState prepares execution state for spec on c.
+func NewJobState(spec *JobSpec, c *cluster.Cluster, model *costmodel.Model) *JobState {
+	return &JobState{
+		Spec:            spec,
+		Cluster:         c,
+		Model:           model,
+		MapLoc:          make([]int, spec.NumMaps()),
+		MapAttempts:     make([]int, spec.NumMaps()),
+		ReduceAttempts:  make([]int, spec.NumReduces()),
+		MapCompleted:    make([]bool, spec.NumMaps()),
+		ReduceCompleted: make([]bool, spec.NumReduces()),
+		MapStarted:      make([]sim.Time, spec.NumMaps()),
+		Report: &Report{
+			ReduceEnds: make([]sim.Time, spec.NumReduces()),
+			Counters:   mapreduce.NewCounters(),
+		},
+		Done: sim.NewFuture(),
+	}
+}
+
+// WireFactor returns the modelled intermediate-compression ratio applied
+// to shuffled and spilled bytes: 1.0 when mapreduce.map.output.compress is
+// off, else mapreduce.map.output.compress.ratio (default 0.5).
+func (js *JobState) WireFactor() float64 {
+	if !js.Spec.Conf.GetBool(mapreduce.ConfCompressMapOut, false) {
+		return 1.0
+	}
+	r := js.Spec.Conf.GetFloat(mapreduce.ConfCompressRatio, 0.5)
+	if r <= 0 || r > 1 {
+		r = 0.5
+	}
+	return r
+}
+
+// SlowstartTarget returns the completed-map count reducers wait for.
+func (js *JobState) SlowstartTarget() int {
+	t := int(js.Spec.Conf.SlowstartMaps() * float64(js.Spec.NumMaps()))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Finish stamps the job end, derives counters and resolves Done. Schedulers
+// call it after AllDone drains and cleanup has been charged.
+func (js *JobState) Finish(now sim.Time) {
+	js.Report.JobEnd = now
+	js.Finished = true
+	js.fillCounters()
+	js.Done.Set(js.Report)
+}
+
+// CleanupIntermediate removes the map output files from their nodes' caches
+// (Hadoop's job-cleanup deletion of mapred.local.dir data).
+func (js *JobState) CleanupIntermediate() {
+	for m := 0; m < js.Spec.NumMaps(); m++ {
+		js.Cluster.Node(js.MapLoc[m]).Store.Delete(js.Spec.MapBytes(m))
+	}
+}
+
+// fillCounters derives Hadoop-style counters from the spec (the simulated
+// engine moves no real records, but the accounting is exact).
+func (js *JobState) fillCounters() {
+	c := js.Report.Counters
+	spec := js.Spec
+	c.IncrTask(mapreduce.CtrMapInputRecords, int64(spec.NumMaps())) // one dummy split record each
+	c.IncrTask(mapreduce.CtrMapOutputRecords, spec.TotalRecords())
+	c.IncrTask(mapreduce.CtrMapOutputBytes, spec.TotalShuffleBytes())
+	c.IncrTask(mapreduce.CtrReduceInputRecords, spec.TotalRecords())
+	c.IncrTask(mapreduce.CtrShuffledMaps, int64(spec.NumMaps()*spec.NumReduces()))
+	c.IncrTask(mapreduce.CtrReduceShuffleBytes, js.Report.ShuffleBytes)
+}

@@ -1,0 +1,171 @@
+// Package mrsim holds the engine-neutral pieces of the simulated MapReduce
+// runtimes: the resolved JobSpec (the per-(map, reduce) record/byte matrix
+// a job shuffles), the Report, and the task execution bodies shared by the
+// MRv1 (JobTracker/slots) and YARN (RM/containers) schedulers.
+//
+// Task execution follows Hadoop's phase structure — map generate/collect,
+// buffer sort + multi-spill, on-disk merge passes, slow-start shuffle with
+// parallel fetchers, reduce-side in-memory merge with disk overflow, final
+// merge, reduce function — with costs charged to the simulated cluster's
+// cores, page-cache/disks and network fabric.
+//
+// The engines do not rerun user code: the microbench layer runs the real
+// partitioner offline and hands them a JobSpec with the exact intermediate
+// data matrix the real job would produce.
+package mrsim
+
+import (
+	"fmt"
+
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/sim"
+)
+
+// SegSpec is the intermediate data one map task produces for one reducer.
+type SegSpec struct {
+	Records int64
+	Bytes   int64 // serialized IFile bytes (framing included)
+}
+
+// JobSpec is a fully resolved simulated job: the intermediate-data matrix
+// plus configuration.
+type JobSpec struct {
+	Name string
+	Conf *mapreduce.Conf
+
+	// Partitions[m][r] is what map m shuffles to reducer r, produced by
+	// running the job's real partitioner over its real key sequence.
+	Partitions [][]SegSpec
+
+	// TypeFactor scales per-record/per-byte CPU costs for the intermediate
+	// data type (1.0 = BytesWritable; Text pays UTF-8 validation etc.).
+	TypeFactor float64
+
+	// Shuffle overrides the reducer copy-phase strategy; nil selects the
+	// stock Hadoop TCP shuffle (StockShuffle).
+	Shuffle ShufflePlugin
+
+	// MapFailures / ReduceFailures inject faults: task index -> number of
+	// attempts that die (with partial work charged) before one succeeds.
+	// Schedulers re-queue failed attempts, as Hadoop does.
+	MapFailures    map[int]int
+	ReduceFailures map[int]int
+}
+
+// FailMap reports whether map idx's given attempt (0-based) should fail.
+func (s *JobSpec) FailMap(idx, attempt int) bool { return attempt < s.MapFailures[idx] }
+
+// FailReduce reports whether reduce idx's given attempt should fail.
+func (s *JobSpec) FailReduce(idx, attempt int) bool { return attempt < s.ReduceFailures[idx] }
+
+// Validate checks internal consistency.
+func (s *JobSpec) Validate() error {
+	if len(s.Partitions) == 0 {
+		return fmt.Errorf("mrsim: job %q has no map tasks", s.Name)
+	}
+	nr := len(s.Partitions[0])
+	if nr == 0 {
+		return fmt.Errorf("mrsim: job %q has no reduce tasks", s.Name)
+	}
+	for m, row := range s.Partitions {
+		if len(row) != nr {
+			return fmt.Errorf("mrsim: job %q: map %d has %d partitions, want %d", s.Name, m, len(row), nr)
+		}
+		for r, seg := range row {
+			if seg.Records < 0 || seg.Bytes < 0 {
+				return fmt.Errorf("mrsim: job %q: negative segment at [%d][%d]", s.Name, m, r)
+			}
+		}
+	}
+	if s.TypeFactor <= 0 {
+		s.TypeFactor = 1.0
+	}
+	if s.Conf == nil {
+		s.Conf = mapreduce.NewConf()
+	}
+	return nil
+}
+
+// NumMaps returns the map task count.
+func (s *JobSpec) NumMaps() int { return len(s.Partitions) }
+
+// NumReduces returns the reduce task count.
+func (s *JobSpec) NumReduces() int { return len(s.Partitions[0]) }
+
+// MapRecords returns map m's total output records.
+func (s *JobSpec) MapRecords(m int) int64 {
+	var n int64
+	for _, seg := range s.Partitions[m] {
+		n += seg.Records
+	}
+	return n
+}
+
+// MapBytes returns map m's total output bytes.
+func (s *JobSpec) MapBytes(m int) int64 {
+	var n int64
+	for _, seg := range s.Partitions[m] {
+		n += seg.Bytes
+	}
+	return n
+}
+
+// ReduceRecords returns reducer r's total input records.
+func (s *JobSpec) ReduceRecords(r int) int64 {
+	var n int64
+	for m := range s.Partitions {
+		n += s.Partitions[m][r].Records
+	}
+	return n
+}
+
+// ReduceBytes returns reducer r's total input bytes.
+func (s *JobSpec) ReduceBytes(r int) int64 {
+	var n int64
+	for m := range s.Partitions {
+		n += s.Partitions[m][r].Bytes
+	}
+	return n
+}
+
+// TotalShuffleBytes returns the job's intermediate data volume.
+func (s *JobSpec) TotalShuffleBytes() int64 {
+	var n int64
+	for m := range s.Partitions {
+		n += s.MapBytes(m)
+	}
+	return n
+}
+
+// TotalRecords returns the job's intermediate record count.
+func (s *JobSpec) TotalRecords() int64 {
+	var n int64
+	for m := range s.Partitions {
+		n += s.MapRecords(m)
+	}
+	return n
+}
+
+// Report is the outcome of one simulated job.
+type Report struct {
+	JobStart    sim.Time
+	JobEnd      sim.Time
+	MapPhaseEnd sim.Time   // last map task completion
+	ShuffleEnd  sim.Time   // last reducer finished copying
+	ReduceEnds  []sim.Time // per-reducer completion
+
+	ShuffleBytes int64
+	Counters     *mapreduce.Counters
+
+	// Tasks is the job history: one event per task attempt.
+	Tasks []TaskEvent
+}
+
+// ExecutionSeconds is the paper's metric: total job execution time.
+func (r *Report) ExecutionSeconds() float64 { return (r.JobEnd - r.JobStart).Seconds() }
+
+// MapPhaseSeconds is the time from job start to the last map completion.
+func (r *Report) MapPhaseSeconds() float64 { return (r.MapPhaseEnd - r.JobStart).Seconds() }
+
+// ReduceTailSeconds is the exposed time after the last map until job end.
+func (r *Report) ReduceTailSeconds() float64 { return (r.JobEnd - r.MapPhaseEnd).Seconds() }

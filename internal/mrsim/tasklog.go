@@ -1,0 +1,107 @@
+package mrsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/sim"
+)
+
+// TaskEvent records one task attempt's execution, the simulated analogue
+// of a Hadoop job-history entry.
+type TaskEvent struct {
+	Type      mapreduce.TaskType
+	Index     int
+	Attempt   int
+	Node      int // node index that ran the attempt
+	Start     sim.Time
+	End       sim.Time
+	Succeeded bool
+	// For reducers: when the copy phase finished (zero for maps).
+	ShuffleDone sim.Time
+}
+
+// ID formats the attempt Hadoop-style.
+func (e TaskEvent) ID() string {
+	return fmt.Sprintf("%s_%06d_%d", e.Type, e.Index, e.Attempt)
+}
+
+// logTask appends an event to the report's history.
+func (js *JobState) logTask(e TaskEvent) {
+	js.Report.Tasks = append(js.Report.Tasks, e)
+}
+
+// TasksOf returns the job's task events filtered by type, ordered by start
+// time (stable on index for ties).
+func (r *Report) TasksOf(t mapreduce.TaskType) []TaskEvent {
+	var out []TaskEvent
+	for _, e := range r.Tasks {
+		if e.Type == t {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// RenderTimeline draws the job's task attempts as a text Gantt chart:
+// one row per attempt, bars scaled to the job duration. Failed attempts
+// render with x's, shuffle phases (for reducers) with dots.
+func (r *Report) RenderTimeline(width int) string {
+	if width <= 20 {
+		width = 80
+	}
+	span := float64(r.JobEnd - r.JobStart)
+	if span <= 0 || len(r.Tasks) == 0 {
+		return "(no task events)\n"
+	}
+	cols := float64(width)
+	pos := func(t sim.Time) int {
+		c := int(float64(t-r.JobStart) / span * cols)
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "task timeline (%.1fs total, %d attempts)\n", span/1e9, len(r.Tasks))
+	events := append([]TaskEvent(nil), r.Tasks...)
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Start != events[j].Start {
+			return events[i].Start < events[j].Start
+		}
+		return events[i].ID() < events[j].ID()
+	})
+	for _, e := range events {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		s, en := pos(e.Start), pos(e.End)
+		fill := byte('#')
+		if !e.Succeeded {
+			fill = 'x'
+		}
+		for i := s; i <= en; i++ {
+			row[i] = fill
+		}
+		if e.ShuffleDone > 0 && e.Succeeded {
+			sd := pos(e.ShuffleDone)
+			for i := s; i <= sd && i < width; i++ {
+				row[i] = '.'
+			}
+		}
+		fmt.Fprintf(&b, "%-16s n%-2d |%s|\n", e.ID(), e.Node, row)
+	}
+	return b.String()
+}

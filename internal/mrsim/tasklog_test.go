@@ -1,0 +1,124 @@
+package mrsim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/sim"
+)
+
+func TestTaskEventID(t *testing.T) {
+	e := TaskEvent{Type: mapreduce.TaskMap, Index: 3, Attempt: 1}
+	if e.ID() != "m_000003_1" {
+		t.Errorf("id = %s", e.ID())
+	}
+	r := TaskEvent{Type: mapreduce.TaskReduce, Index: 0, Attempt: 0}
+	if r.ID() != "r_000000_0" {
+		t.Errorf("id = %s", r.ID())
+	}
+}
+
+func TestTasksOfFiltersAndSorts(t *testing.T) {
+	r := &Report{Tasks: []TaskEvent{
+		{Type: mapreduce.TaskReduce, Index: 0, Start: sim.DurationOf(5)},
+		{Type: mapreduce.TaskMap, Index: 2, Start: sim.DurationOf(3)},
+		{Type: mapreduce.TaskMap, Index: 0, Start: sim.DurationOf(1)},
+		{Type: mapreduce.TaskMap, Index: 1, Start: sim.DurationOf(3)},
+	}}
+	maps := r.TasksOf(mapreduce.TaskMap)
+	if len(maps) != 3 {
+		t.Fatalf("maps = %d", len(maps))
+	}
+	if maps[0].Index != 0 || maps[1].Index != 1 || maps[2].Index != 2 {
+		t.Errorf("order = %v", maps)
+	}
+	if len(r.TasksOf(mapreduce.TaskReduce)) != 1 {
+		t.Error("reduce filter wrong")
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	r := &Report{
+		JobStart: 0,
+		JobEnd:   sim.DurationOf(100),
+		Tasks: []TaskEvent{
+			{Type: mapreduce.TaskMap, Index: 0, Node: 1, Start: 0, End: sim.DurationOf(40), Succeeded: true},
+			{Type: mapreduce.TaskMap, Index: 1, Node: 2, Start: 0, End: sim.DurationOf(30)},
+			{Type: mapreduce.TaskReduce, Index: 0, Node: 1, Start: sim.DurationOf(10),
+				End: sim.DurationOf(95), Succeeded: true, ShuffleDone: sim.DurationOf(60)},
+		},
+	}
+	out := r.RenderTimeline(60)
+	if !strings.Contains(out, "m_000000_0") || !strings.Contains(out, "r_000000_0") {
+		t.Errorf("missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("no success bars")
+	}
+	if !strings.Contains(out, "x") {
+		t.Error("failed attempt not marked")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("shuffle phase not marked")
+	}
+	if !strings.Contains(out, "3 attempts") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+}
+
+func TestRenderTimelineEmpty(t *testing.T) {
+	r := &Report{}
+	if !strings.Contains(r.RenderTimeline(40), "no task events") {
+		t.Error("empty render wrong")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	r := &Report{
+		JobStart: sim.DurationOf(1),
+		JobEnd:   sim.DurationOf(101),
+		Tasks: []TaskEvent{
+			{Type: mapreduce.TaskMap, Index: 0, Node: 1, Start: sim.DurationOf(1), End: sim.DurationOf(41), Succeeded: true},
+			{Type: mapreduce.TaskMap, Index: 1, Node: 2, Start: sim.DurationOf(1), End: sim.DurationOf(31)}, // failed
+			{Type: mapreduce.TaskReduce, Index: 0, Node: 1, Start: sim.DurationOf(11),
+				End: sim.DurationOf(96), Succeeded: true, ShuffleDone: sim.DurationOf(61)},
+		},
+	}
+	raw, err := r.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 2 map events + reducer split into shuffle + sort/reduce = 4.
+	if len(events) != 4 {
+		t.Fatalf("events = %d, want 4", len(events))
+	}
+	names := map[string]bool{}
+	for _, e := range events {
+		names[e["name"].(string)] = true
+		if e["ph"] != "X" {
+			t.Errorf("phase = %v", e["ph"])
+		}
+		if e["dur"].(float64) < 0 {
+			t.Error("negative duration")
+		}
+	}
+	for _, want := range []string{"m_000000_0", "m_000001_0", "r_000000_0/shuffle", "r_000000_0/sort+reduce"} {
+		if !names[want] {
+			t.Errorf("missing event %q in %v", want, names)
+		}
+	}
+	// Map 0 starts at ts 0 (relative to job start), runs 40s = 4e7 µs.
+	for _, e := range events {
+		if e["name"] == "m_000000_0" {
+			if e["ts"].(float64) != 0 || e["dur"].(float64) != 40e6 {
+				t.Errorf("m0 ts/dur = %v/%v", e["ts"], e["dur"])
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package mrsim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mrmicro/internal/mapreduce"
+)
+
+// traceEvent is one Chrome trace-event ("X" = complete event with
+// duration). The format is the catapult/about:tracing JSON array, loadable
+// in chrome://tracing and Perfetto.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TsUs float64           `json:"ts"`
+	DuUs float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace serializes the job history as Chrome trace-event JSON: one
+// "process" per cluster node, one complete event per task attempt, with
+// reducers split into shuffle and merge+reduce slices. Times are relative
+// to job start.
+func (r *Report) ChromeTrace() ([]byte, error) {
+	var events []traceEvent
+	us := func(t float64) float64 { return t / 1e3 } // ns -> µs
+	for _, e := range r.Tasks {
+		name := e.ID()
+		start := us(float64(e.Start - r.JobStart))
+		end := us(float64(e.End - r.JobStart))
+		cat := "map"
+		if e.Type == mapreduce.TaskReduce {
+			cat = "reduce"
+		}
+		args := map[string]string{"succeeded": fmt.Sprint(e.Succeeded)}
+		if e.Type == mapreduce.TaskReduce && e.Succeeded && e.ShuffleDone > 0 {
+			sd := us(float64(e.ShuffleDone - r.JobStart))
+			events = append(events,
+				traceEvent{Name: name + "/shuffle", Cat: "shuffle", Ph: "X",
+					TsUs: start, DuUs: sd - start, PID: e.Node, TID: tid(e), Args: args},
+				traceEvent{Name: name + "/sort+reduce", Cat: cat, Ph: "X",
+					TsUs: sd, DuUs: end - sd, PID: e.Node, TID: tid(e), Args: args},
+			)
+			continue
+		}
+		events = append(events, traceEvent{
+			Name: name, Cat: cat, Ph: "X",
+			TsUs: start, DuUs: end - start, PID: e.Node, TID: tid(e), Args: args,
+		})
+	}
+	return json.MarshalIndent(events, "", " ")
+}
+
+// tid gives each logical task a stable lane within its node's process row.
+func tid(e TaskEvent) int {
+	base := e.Index*4 + e.Attempt
+	if e.Type == mapreduce.TaskReduce {
+		return 100000 + base
+	}
+	return base
+}

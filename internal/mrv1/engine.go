@@ -1,0 +1,192 @@
+// Package mrv1 schedules simulated jobs the Hadoop 1.x way: a JobTracker
+// process supervises per-slave TaskTrackers that claim pending tasks for
+// their fixed map/reduce slots at every heartbeat. Task execution itself is
+// shared with the YARN scheduler (package mrsim).
+package mrv1
+
+import (
+	"fmt"
+
+	"mrmicro/internal/cluster"
+	"mrmicro/internal/costmodel"
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/mrsim"
+	"mrmicro/internal/sim"
+)
+
+// Re-exported spec types: an mrv1 job is described exactly like a yarn one.
+type (
+	// JobSpec is mrsim.JobSpec.
+	JobSpec = mrsim.JobSpec
+	// SegSpec is mrsim.SegSpec.
+	SegSpec = mrsim.SegSpec
+	// Report is mrsim.Report.
+	Report = mrsim.Report
+)
+
+// Engine is a simulated Hadoop 1.x runtime bound to one cluster.
+type Engine struct {
+	Cluster *cluster.Cluster
+	Model   *costmodel.Model
+}
+
+// New creates an engine with the default cost model if model is nil.
+func New(c *cluster.Cluster, model *costmodel.Model) *Engine {
+	if model == nil {
+		model = costmodel.Default()
+	}
+	return &Engine{Cluster: c, Model: model}
+}
+
+// RunningJob is a job in flight; Done resolves to *Report.
+type RunningJob struct {
+	Done *sim.Future
+}
+
+// Run starts the job and drives the simulation to completion.
+func (e *Engine) Run(spec *JobSpec) (*Report, error) {
+	rj, err := e.Start(spec)
+	if err != nil {
+		return nil, err
+	}
+	e.Cluster.Engine().Run()
+	return rj.Done.Wait(nil).(*Report), nil
+}
+
+// Start schedules the job on the cluster and returns immediately; the
+// caller drives the sim engine. Use this form to attach monitors or run
+// concurrent jobs.
+func (e *Engine) Start(spec *JobSpec) (*RunningJob, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(e.Cluster.Slaves()) == 0 {
+		return nil, fmt.Errorf("mrv1: cluster has no slaves")
+	}
+	jt := &jobTracker{js: mrsim.NewJobState(spec, e.Cluster, e.Model)}
+	for m := 0; m < spec.NumMaps(); m++ {
+		jt.pendingMaps = append(jt.pendingMaps, m)
+	}
+	for r := 0; r < spec.NumReduces(); r++ {
+		jt.pendingReduces = append(jt.pendingReduces, r)
+	}
+	e.Cluster.Engine().Go(spec.Name+"/jobtracker", jt.run)
+	return &RunningJob{Done: jt.js.Done}, nil
+}
+
+// jobTracker owns the MRv1 scheduling policy: pending task queues drained
+// by TaskTracker heartbeats, reduces gated on slow-start.
+type jobTracker struct {
+	js             *mrsim.JobState
+	pendingMaps    []int
+	pendingReduces []int
+	speculated     map[int]bool // maps with a duplicate attempt queued
+}
+
+// run is the JobTracker process: job setup, TaskTracker supervision, job
+// cleanup.
+func (jt *jobTracker) run(p *sim.Proc) {
+	js := jt.js
+	js.Report.JobStart = p.Now()
+	p.Sleep(sim.DurationOf(js.Model.JobSetup))
+
+	js.AllDone.Add(js.Spec.NumMaps() + js.Spec.NumReduces())
+	for i, node := range js.Cluster.Slaves() {
+		tt := &taskTracker{
+			jt:          jt,
+			node:        node,
+			mapSlots:    js.Spec.Conf.GetInt(mapreduce.ConfMapSlots, 4),
+			reduceSlots: js.Spec.Conf.GetInt(mapreduce.ConfReduceSlots, 2),
+		}
+		// Stagger first heartbeats so trackers do not beat in lockstep.
+		offset := sim.DurationOf(float64(i) * 0.113)
+		js.Cluster.Engine().Go(fmt.Sprintf("%s/tt%d", js.Spec.Name, node.Index), func(p *sim.Proc) {
+			p.Sleep(offset)
+			tt.run(p)
+		})
+	}
+
+	js.AllDone.Wait(p)
+	js.CleanupIntermediate()
+	p.Sleep(sim.DurationOf(js.Model.JobCleanup))
+	js.Finish(p.Now())
+}
+
+// maybeSpeculate launches duplicate attempts for straggling maps when
+// mapreduce.map.speculative is on: once half the maps have finished and a
+// running map has taken over 1.5x the mean completed-map runtime, a second
+// attempt is queued; the first completion wins (Hadoop's LATE-style
+// heuristic, simplified).
+func (jt *jobTracker) maybeSpeculate(now sim.Time) {
+	js := jt.js
+	if !js.Spec.Conf.GetBool(mapreduce.ConfSpeculative, false) {
+		return
+	}
+	if js.MapsDone < js.Spec.NumMaps()/2 || js.MapsDone == js.Spec.NumMaps() {
+		return
+	}
+	mean := js.MapRuntimeSum / float64(js.MapsDone)
+	for m := 0; m < js.Spec.NumMaps(); m++ {
+		if js.MapCompleted[m] || js.MapAttempts[m] != 1 || jt.speculated[m] {
+			continue // not running, retried, or already speculated
+		}
+		if (now - js.MapStarted[m]).Seconds() > 1.5*mean {
+			if jt.speculated == nil {
+				jt.speculated = make(map[int]bool)
+			}
+			jt.speculated[m] = true
+			jt.pendingMaps = append(jt.pendingMaps, m)
+		}
+	}
+}
+
+// taskTracker is one slave's heartbeat loop: it claims pending tasks for
+// its free slots every heartbeat, as Hadoop's TT does.
+type taskTracker struct {
+	jt          *jobTracker
+	node        *cluster.Node
+	mapSlots    int
+	reduceSlots int
+	mapBusy     int
+	reduceBusy  int
+}
+
+func (tt *taskTracker) run(p *sim.Proc) {
+	jt := tt.jt
+	js := jt.js
+	hb := sim.DurationOf(js.Model.Heartbeat)
+	slowstart := js.SlowstartTarget()
+	for !js.Finished {
+		jt.maybeSpeculate(p.Now())
+		for tt.mapBusy < tt.mapSlots && len(jt.pendingMaps) > 0 {
+			m := jt.pendingMaps[0]
+			jt.pendingMaps = jt.pendingMaps[1:]
+			js.MapLoc[m] = tt.node.Index
+			tt.mapBusy++
+			js.Cluster.Engine().Go(fmt.Sprintf("%s/map%d", js.Spec.Name, m), func(p *sim.Proc) {
+				js.RunMapTask(p, tt.node, m, func(ok bool) {
+					tt.mapBusy--
+					if !ok {
+						jt.pendingMaps = append(jt.pendingMaps, m)
+					}
+				})
+			})
+		}
+		if js.MapsDone >= slowstart {
+			for tt.reduceBusy < tt.reduceSlots && len(jt.pendingReduces) > 0 {
+				r := jt.pendingReduces[0]
+				jt.pendingReduces = jt.pendingReduces[1:]
+				tt.reduceBusy++
+				js.Cluster.Engine().Go(fmt.Sprintf("%s/reduce%d", js.Spec.Name, r), func(p *sim.Proc) {
+					js.RunReduceTask(p, tt.node, r, func(ok bool) {
+						tt.reduceBusy--
+						if !ok {
+							jt.pendingReduces = append(jt.pendingReduces, r)
+						}
+					})
+				})
+			}
+		}
+		p.Sleep(hb)
+	}
+}

@@ -1,0 +1,298 @@
+package mrv1
+
+import (
+	"testing"
+
+	"mrmicro/internal/cluster"
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/netsim"
+	"mrmicro/internal/sim"
+)
+
+// uniformSpec builds a spec where every map sends the same amount to every
+// reducer.
+func uniformSpec(name string, maps, reduces int, recsPerSeg, bytesPerRec int64) *JobSpec {
+	parts := make([][]SegSpec, maps)
+	for m := range parts {
+		parts[m] = make([]SegSpec, reduces)
+		for r := range parts[m] {
+			parts[m][r] = SegSpec{Records: recsPerSeg, Bytes: recsPerSeg * bytesPerRec}
+		}
+	}
+	return &JobSpec{
+		Name:       name,
+		Conf:       mapreduce.NewConf().SetInt(mapreduce.ConfNumMaps, maps).SetInt(mapreduce.ConfNumReduces, reduces),
+		Partitions: parts,
+		TypeFactor: 1.0,
+	}
+}
+
+func runUniform(t *testing.T, profile netsim.Profile, maps, reduces int, recsPerSeg, bytesPerRec int64) *Report {
+	t.Helper()
+	e := sim.NewEngine()
+	c := cluster.ClusterA(e, 4, profile)
+	eng := New(c, nil)
+	rep, err := eng.Run(uniformSpec("t", maps, reduces, recsPerSeg, bytesPerRec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestSpecValidation(t *testing.T) {
+	if err := (&JobSpec{Name: "x"}).Validate(); err == nil {
+		t.Error("empty spec accepted")
+	}
+	bad := uniformSpec("x", 2, 2, 1, 1)
+	bad.Partitions[1] = bad.Partitions[1][:1]
+	if err := bad.Validate(); err == nil {
+		t.Error("ragged partitions accepted")
+	}
+	neg := uniformSpec("x", 1, 1, 1, 1)
+	neg.Partitions[0][0].Bytes = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative bytes accepted")
+	}
+	ok := uniformSpec("x", 1, 1, 1, 1)
+	ok.TypeFactor = 0
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ok.TypeFactor != 1.0 {
+		t.Error("TypeFactor not defaulted")
+	}
+}
+
+func TestSpecArithmetic(t *testing.T) {
+	s := uniformSpec("x", 4, 2, 100, 10)
+	if s.NumMaps() != 4 || s.NumReduces() != 2 {
+		t.Error("dims wrong")
+	}
+	if s.MapRecords(0) != 200 || s.MapBytes(0) != 2000 {
+		t.Errorf("map totals = %d/%d", s.MapRecords(0), s.MapBytes(0))
+	}
+	if s.ReduceRecords(1) != 400 || s.ReduceBytes(1) != 4000 {
+		t.Errorf("reduce totals = %d/%d", s.ReduceRecords(1), s.ReduceBytes(1))
+	}
+	if s.TotalShuffleBytes() != 8000 || s.TotalRecords() != 800 {
+		t.Errorf("job totals = %d/%d", s.TotalShuffleBytes(), s.TotalRecords())
+	}
+}
+
+func TestSmallJobCompletes(t *testing.T) {
+	rep := runUniform(t, netsim.OneGigE, 8, 4, 1000, 1024)
+	if rep.ExecutionSeconds() <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	if rep.MapPhaseEnd <= rep.JobStart || rep.JobEnd <= rep.MapPhaseEnd {
+		t.Errorf("phase timestamps disordered: start=%v mapEnd=%v end=%v",
+			rep.JobStart, rep.MapPhaseEnd, rep.JobEnd)
+	}
+	if rep.ShuffleEnd < rep.MapPhaseEnd {
+		t.Error("shuffle ended before last map")
+	}
+	// The globally last reducer must end at or after the last copy finished.
+	var lastReduce sim.Time
+	for _, end := range rep.ReduceEnds {
+		if end > lastReduce {
+			lastReduce = end
+		}
+	}
+	if lastReduce < rep.ShuffleEnd {
+		t.Error("last reducer ended before global shuffle end")
+	}
+}
+
+func TestCounterConservation(t *testing.T) {
+	rep := runUniform(t, netsim.TenGigE, 8, 4, 500, 2048)
+	c := rep.Counters
+	mo := c.Task(mapreduce.CtrMapOutputRecords)
+	ri := c.Task(mapreduce.CtrReduceInputRecords)
+	if mo != ri || mo != 8*4*500 {
+		t.Errorf("records: map out %d, reduce in %d, want %d", mo, ri, 8*4*500)
+	}
+	if got := c.Task(mapreduce.CtrShuffledMaps); got != 32 {
+		t.Errorf("shuffled maps = %d", got)
+	}
+	// All intermediate bytes must have been shuffled (local or remote).
+	if rep.ShuffleBytes != 8*4*500*2048 {
+		t.Errorf("shuffle bytes = %d, want %d", rep.ShuffleBytes, 8*4*500*2048)
+	}
+}
+
+func TestFasterNetworkNeverSlower(t *testing.T) {
+	// 4 GB shuffle: enough for the network to matter.
+	recs := int64(4 << 30 / (16 * 8) / 1024)
+	t1 := runUniform(t, netsim.OneGigE, 16, 8, recs, 1024).ExecutionSeconds()
+	t10 := runUniform(t, netsim.TenGigE, 16, 8, recs, 1024).ExecutionSeconds()
+	tq := runUniform(t, netsim.IPoIBQDR32, 16, 8, recs, 1024).ExecutionSeconds()
+	if !(t1 > t10 && t10 > tq) {
+		t.Errorf("expected 1GigE > 10GigE > QDR, got %.1f / %.1f / %.1f", t1, t10, tq)
+	}
+	t.Logf("1GigE=%.1fs 10GigE=%.1fs (%.1f%%) QDR=%.1fs (%.1f%%)",
+		t1, t10, 100*(t1-t10)/t1, tq, 100*(t1-tq)/t1)
+}
+
+func TestSkewGatesJob(t *testing.T) {
+	// Reducer 0 takes half of everything: its completion should gate the
+	// job well past the uniform case.
+	maps, reduces := 16, 8
+	perMap := int64(256 << 20) // 256 MB/map -> 4 GB total
+	recBytes := int64(2048)
+	mkSkew := func() *JobSpec {
+		parts := make([][]SegSpec, maps)
+		for m := range parts {
+			parts[m] = make([]SegSpec, reduces)
+			recs := perMap / recBytes
+			half := recs / 2
+			rest := (recs - half) / int64(reduces-1)
+			parts[m][0] = SegSpec{Records: half, Bytes: half * recBytes}
+			for r := 1; r < reduces; r++ {
+				parts[m][r] = SegSpec{Records: rest, Bytes: rest * recBytes}
+			}
+		}
+		return &JobSpec{Name: "skew", Conf: mapreduce.NewConf(), Partitions: parts, TypeFactor: 1}
+	}
+	e := sim.NewEngine()
+	c := cluster.ClusterA(e, 4, netsim.OneGigE)
+	rep, err := New(c, nil).Run(mkSkew())
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := runUniform(t, netsim.OneGigE, maps, reduces, perMap/recBytes/int64(reduces), recBytes)
+	if rep.ExecutionSeconds() < 1.4*uni.ExecutionSeconds() {
+		t.Errorf("skewed job %.1fs should be >= 1.4x uniform %.1fs",
+			rep.ExecutionSeconds(), uni.ExecutionSeconds())
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := runUniform(t, netsim.IPoIBQDR32, 8, 4, 2000, 1024)
+	b := runUniform(t, netsim.IPoIBQDR32, 8, 4, 2000, 1024)
+	if a.ExecutionSeconds() != b.ExecutionSeconds() {
+		t.Errorf("non-deterministic: %.6f vs %.6f", a.ExecutionSeconds(), b.ExecutionSeconds())
+	}
+	if a.MapPhaseEnd != b.MapPhaseEnd || a.ShuffleEnd != b.ShuffleEnd {
+		t.Error("phase timestamps differ between identical runs")
+	}
+}
+
+func TestMoreTasksFinishFaster(t *testing.T) {
+	// Fig. 5's effect: 8M-4R beats 4M-2R for the same total data.
+	total := int64(4 << 30)
+	rec := int64(2048)
+	t84 := runUniform(t, netsim.IPoIBQDR32, 8, 4, total/rec/(8*4), rec).ExecutionSeconds()
+	t42 := runUniform(t, netsim.IPoIBQDR32, 4, 2, total/rec/(4*2), rec).ExecutionSeconds()
+	if t84 >= t42 {
+		t.Errorf("8M-4R (%.1fs) should beat 4M-2R (%.1fs)", t84, t42)
+	}
+}
+
+func TestSlowstartRespected(t *testing.T) {
+	// With slowstart = 1.0, no reducer may start (and thus no shuffle) until
+	// every map is done; shuffle is fully exposed.
+	spec := uniformSpec("late", 8, 4, 1000, 1024)
+	spec.Conf.SetFloat(mapreduce.ConfSlowstartMaps, 1.0)
+	e := sim.NewEngine()
+	c := cluster.ClusterA(e, 4, netsim.OneGigE)
+	rep, err := New(c, nil).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ShuffleEnd <= rep.MapPhaseEnd {
+		t.Error("shuffle finished before maps with slowstart=1.0")
+	}
+}
+
+func TestZeroByteSegments(t *testing.T) {
+	// Degenerate: all data to reducer 0, others get nothing — must not hang.
+	parts := make([][]SegSpec, 4)
+	for m := range parts {
+		parts[m] = make([]SegSpec, 4)
+		parts[m][0] = SegSpec{Records: 1000, Bytes: 1000 * 512}
+	}
+	e := sim.NewEngine()
+	c := cluster.ClusterA(e, 2, netsim.OneGigE)
+	rep, err := New(c, nil).Run(&JobSpec{Name: "lop", Conf: mapreduce.NewConf(), Partitions: parts, TypeFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExecutionSeconds() <= 0 {
+		t.Error("no time elapsed")
+	}
+}
+
+func TestConcurrentJobsShareCluster(t *testing.T) {
+	// Two jobs launched together on one cluster contend for cores, disks
+	// and the fabric; each must finish later than it would alone.
+	solo := runUniform(t, netsim.TenGigE, 8, 4, 2000, 1024).ExecutionSeconds()
+
+	e := sim.NewEngine()
+	c := cluster.ClusterA(e, 4, netsim.TenGigE)
+	eng := New(c, nil)
+	a, err := eng.Start(uniformSpec("jobA", 8, 4, 2000, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Start(uniformSpec("jobB", 8, 4, 2000, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	repA := a.Done.Wait(nil).(*Report)
+	repB := b.Done.Wait(nil).(*Report)
+	for name, rep := range map[string]*Report{"A": repA, "B": repB} {
+		if rep.ExecutionSeconds() <= solo {
+			t.Errorf("job %s with contention (%.1fs) not slower than solo (%.1fs)",
+				name, rep.ExecutionSeconds(), solo)
+		}
+	}
+	// Both jobs' accounting stays intact under contention.
+	if repA.ShuffleBytes != repB.ShuffleBytes {
+		t.Error("concurrent jobs shuffled different volumes for identical specs")
+	}
+}
+
+func TestCompressionTradeoffByNetwork(t *testing.T) {
+	// Intermediate compression trades CPU for wire bytes: on 1GigE the
+	// halved shuffle should pay for the codec; on IPoIB QDR the network is
+	// fast enough that the benefit shrinks (the paper's data-type
+	// discussion makes exactly this byte-count argument).
+	run := func(prof netsim.Profile, compress bool) float64 {
+		spec := uniformSpec("z", 16, 8, 32768, 2048) // 16 GB shuffle
+		if compress {
+			spec.Conf.SetBool(mapreduce.ConfCompressMapOut, true)
+		}
+		e := sim.NewEngine()
+		c := cluster.ClusterA(e, 4, prof)
+		rep, err := New(c, nil).Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.ExecutionSeconds()
+	}
+	slowPlain, slowZ := run(netsim.OneGigE, false), run(netsim.OneGigE, true)
+	fastPlain, fastZ := run(netsim.IPoIBQDR32, false), run(netsim.IPoIBQDR32, true)
+	if slowZ >= slowPlain {
+		t.Errorf("compression should help 1GigE: %.1fs -> %.1fs", slowPlain, slowZ)
+	}
+	gainSlow := (slowPlain - slowZ) / slowPlain
+	gainFast := (fastPlain - fastZ) / fastPlain
+	if gainFast >= gainSlow {
+		t.Errorf("compression gain on QDR (%.1f%%) should be below 1GigE (%.1f%%)",
+			100*gainFast, 100*gainSlow)
+	}
+	t.Logf("compression gain: 1GigE %.1f%%, QDR %.1f%%", 100*gainSlow, 100*gainFast)
+}
+
+func TestCompressionShrinksShuffleBytes(t *testing.T) {
+	spec := uniformSpec("zb", 8, 4, 1000, 1024)
+	spec.Conf.SetBool(mapreduce.ConfCompressMapOut, true)
+	spec.Conf.SetFloat(mapreduce.ConfCompressRatio, 0.4)
+	rep := runSpec(t, spec, 4, nil)
+	want := int64(float64(spec.TotalShuffleBytes()) * 0.4)
+	tol := want / 20
+	if rep.ShuffleBytes < want-tol || rep.ShuffleBytes > want+tol {
+		t.Errorf("wire bytes = %d, want ~%d (ratio 0.4)", rep.ShuffleBytes, want)
+	}
+}

@@ -1,0 +1,289 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mrmicro/internal/sim"
+)
+
+// testProfile is a round-number profile that makes analytic answers easy.
+var testProfile = Profile{
+	Name:      "test",
+	Bandwidth: 100, // bytes/sec
+	Latency:   0,
+}
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSingleFlowFullBandwidth(t *testing.T) {
+	e := sim.NewEngine()
+	f := NewFabric(e, testProfile, 2)
+	var done sim.Time
+	e.Go("x", func(p *sim.Proc) {
+		f.Transfer(p, 0, 1, 1000) // 1000 B at 100 B/s => 10 s
+		done = p.Now()
+	})
+	e.Run()
+	if !almostEqual(done.Seconds(), 10, 1e-6) {
+		t.Errorf("transfer took %v, want 10s", done.Seconds())
+	}
+}
+
+func TestTwoFlowsShareEgress(t *testing.T) {
+	// Two flows from node 0 to different destinations share node 0's egress:
+	// 50 B/s each => 1000 B takes 20 s.
+	e := sim.NewEngine()
+	f := NewFabric(e, testProfile, 3)
+	var t1, t2 sim.Time
+	e.Go("a", func(p *sim.Proc) { f.Transfer(p, 0, 1, 1000); t1 = p.Now() })
+	e.Go("b", func(p *sim.Proc) { f.Transfer(p, 0, 2, 1000); t2 = p.Now() })
+	e.Run()
+	if !almostEqual(t1.Seconds(), 20, 1e-3) || !almostEqual(t2.Seconds(), 20, 1e-3) {
+		t.Errorf("times = %v %v, want 20s each", t1.Seconds(), t2.Seconds())
+	}
+}
+
+func TestIncastSharesIngress(t *testing.T) {
+	// Four senders into one receiver: 25 B/s each.
+	e := sim.NewEngine()
+	f := NewFabric(e, testProfile, 5)
+	ends := make([]sim.Time, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Go("s", func(p *sim.Proc) { f.Transfer(p, i+1, 0, 250); ends[i] = p.Now() })
+	}
+	e.Run()
+	for i, at := range ends {
+		if !almostEqual(at.Seconds(), 10, 1e-3) {
+			t.Errorf("flow %d finished at %v, want 10s", i, at.Seconds())
+		}
+	}
+}
+
+func TestMaxMinWaterFilling(t *testing.T) {
+	// Flow A: 0->1, Flow B: 0->2, Flow C: 3->2.
+	// Ingress of 2 carries B and C; egress of 0 carries A and B.
+	// Max-min: all links 100. Egress(0): A,B. Ingress(2): B,C.
+	// Fair shares all 50 => B frozen at 50 on either link, then A gets
+	// remaining 50 on egress(0) and C gets 50 on ingress(2). All 50.
+	e := sim.NewEngine()
+	f := NewFabric(e, testProfile, 4)
+	fa := f.StartFlow(0, 1, 500)
+	fb := f.StartFlow(0, 2, 500)
+	fc := f.StartFlow(3, 2, 500)
+	for _, fl := range []*Flow{fa, fb, fc} {
+		if !almostEqual(fl.Rate(), 50, 1e-9) {
+			t.Errorf("rate = %v, want 50", fl.Rate())
+		}
+	}
+	e.Run()
+}
+
+func TestAsymmetricWaterFilling(t *testing.T) {
+	// Flows: A,B,C all egress node 0 (share 100/3 each) plus D: 4->5 on
+	// fully independent links (rate 100), and E: 1->2 sharing A's dst
+	// ingress and B's... no — E: 4->2 would share D's egress. Keep it to
+	// D independent plus check residual sharing: E: 5->1 shares ingress(1)
+	// with A, so E gets 100 - 33.3 = 66.7.
+	e := sim.NewEngine()
+	f := NewFabric(e, testProfile, 6)
+	fa := f.StartFlow(0, 1, 1000)
+	fb := f.StartFlow(0, 2, 1000)
+	fc := f.StartFlow(0, 3, 1000)
+	fd := f.StartFlow(4, 5, 1000)
+	fe := f.StartFlow(5, 1, 1000)
+	for _, fl := range []*Flow{fa, fb, fc} {
+		if !almostEqual(fl.Rate(), 100.0/3, 1e-9) {
+			t.Errorf("shared rate = %v, want %v", fl.Rate(), 100.0/3)
+		}
+	}
+	if !almostEqual(fd.Rate(), 100, 1e-9) {
+		t.Errorf("independent flow rate = %v, want 100", fd.Rate())
+	}
+	if !almostEqual(fe.Rate(), 100-100.0/3, 1e-9) {
+		t.Errorf("residual-sharing flow rate = %v, want %v", fe.Rate(), 100-100.0/3)
+	}
+	e.Run()
+}
+
+func TestRateReallocationOnCompletion(t *testing.T) {
+	// Two flows share egress; when the short one finishes, the long one
+	// speeds up. Short: 500 B, long: 1500 B.
+	// Phase 1: both at 50 B/s until short finishes at t=10 (long has moved
+	// 500). Phase 2: long at 100 B/s for remaining 1000 => finishes t=20.
+	e := sim.NewEngine()
+	f := NewFabric(e, testProfile, 3)
+	var endShort, endLong sim.Time
+	e.Go("short", func(p *sim.Proc) { f.Transfer(p, 0, 1, 500); endShort = p.Now() })
+	e.Go("long", func(p *sim.Proc) { f.Transfer(p, 0, 2, 1500); endLong = p.Now() })
+	e.Run()
+	if !almostEqual(endShort.Seconds(), 10, 1e-3) {
+		t.Errorf("short finished at %v, want 10", endShort.Seconds())
+	}
+	if !almostEqual(endLong.Seconds(), 20, 1e-3) {
+		t.Errorf("long finished at %v, want 20", endLong.Seconds())
+	}
+}
+
+func TestLatencyAndSetupAdded(t *testing.T) {
+	p := testProfile
+	p.Latency = sim.Duration(time.Second)
+	p.SetupLatency = sim.Duration(2 * time.Second)
+	e := sim.NewEngine()
+	f := NewFabric(e, p, 2)
+	var done sim.Time
+	e.Go("x", func(pr *sim.Proc) {
+		f.Transfer(pr, 0, 1, 100) // 3s overhead + 1s payload
+		done = pr.Now()
+	})
+	e.Run()
+	if !almostEqual(done.Seconds(), 4, 1e-6) {
+		t.Errorf("took %v, want 4s", done.Seconds())
+	}
+}
+
+func TestLocalTransferBypassesFabric(t *testing.T) {
+	e := sim.NewEngine()
+	f := NewFabric(e, testProfile, 2)
+	var done sim.Time
+	e.Go("x", func(p *sim.Proc) {
+		f.Transfer(p, 1, 1, int64(LocalBandwidth)) // 1 second at memory speed
+		done = p.Now()
+	})
+	e.Run()
+	if !almostEqual(done.Seconds(), 1, 1e-6) {
+		t.Errorf("local copy took %v, want 1s", done.Seconds())
+	}
+	if f.NodeCounters(1).RxBytes != 0 {
+		t.Error("local transfer should not touch NIC counters")
+	}
+}
+
+func TestZeroByteFlow(t *testing.T) {
+	e := sim.NewEngine()
+	f := NewFabric(e, testProfile, 2)
+	fl := f.StartFlow(0, 1, 0)
+	if !fl.Done.Done() {
+		t.Error("zero-byte flow should resolve immediately")
+	}
+	e.Run()
+}
+
+func TestByteConservation(t *testing.T) {
+	check := func(seedBytes uint32) bool {
+		e := sim.NewEngine()
+		f := NewFabric(e, testProfile, 4)
+		total := int64(0)
+		// Deterministic pseudo-random flow set derived from the seed.
+		s := uint64(seedBytes) | 1
+		next := func(n uint64) uint64 { s = s*6364136223846793005 + 1442695040888963407; return (s >> 33) % n }
+		for i := 0; i < 12; i++ {
+			src := int(next(4))
+			dst := int(next(4))
+			if src == dst {
+				dst = (dst + 1) % 4
+			}
+			b := int64(next(5000) + 1)
+			total += b
+			delay := sim.Time(next(uint64(3 * time.Second)))
+			e.Schedule(delay, func() { f.StartFlow(src, dst, b) })
+		}
+		e.Run()
+		var tx, rx float64
+		for i := 0; i < 4; i++ {
+			c := f.NodeCounters(i)
+			tx += c.TxBytes
+			rx += c.RxBytes
+		}
+		return almostEqual(tx, float64(total), 0.5) && almostEqual(rx, float64(total), 0.5)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowCompletionMonotonicWithSize(t *testing.T) {
+	// Property: on an otherwise idle fabric, a larger transfer never
+	// finishes sooner.
+	f := func(a, b uint16) bool {
+		sa, sb := int64(a)+1, int64(b)+1
+		dur := func(n int64) float64 {
+			e := sim.NewEngine()
+			fab := NewFabric(e, testProfile, 2)
+			var end sim.Time
+			e.Go("x", func(p *sim.Proc) { fab.Transfer(p, 0, 1, n); end = p.Now() })
+			e.Run()
+			return end.Seconds()
+		}
+		da, db := dur(sa), dur(sb)
+		if sa < sb {
+			return da <= db+1e-9
+		}
+		return db <= da+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuiltinProfilesSane(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 5 {
+		t.Fatalf("expected 5 built-in profiles, got %d", len(ps))
+	}
+	// Strictly increasing effective bandwidth in the paper's order.
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Bandwidth <= ps[i-1].Bandwidth {
+			t.Errorf("%s bandwidth %.0f not > %s bandwidth %.0f",
+				ps[i].Name, ps[i].Bandwidth, ps[i-1].Name, ps[i-1].Bandwidth)
+		}
+	}
+	// Latency strictly decreasing.
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Latency >= ps[i-1].Latency {
+			t.Errorf("%s latency %v not < %s latency %v",
+				ps[i].Name, ps[i].Latency, ps[i-1].Name, ps[i-1].Latency)
+		}
+	}
+	// Only RDMA has zero CPU cost and the RDMA flag.
+	for _, p := range ps {
+		if p.RDMA != (p.ReceiverCPUPerByte == 0) {
+			t.Errorf("%s: RDMA flag inconsistent with CPU cost", p.Name)
+		}
+	}
+	if _, ok := ProfileByName("10GigE"); !ok {
+		t.Error("ProfileByName(10GigE) not found")
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("ProfileByName(nope) unexpectedly found")
+	}
+}
+
+func TestCountersDuringFlight(t *testing.T) {
+	// Halfway through a 1000 B transfer, counters show ~500 B.
+	e := sim.NewEngine()
+	f := NewFabric(e, testProfile, 2)
+	f.StartFlow(0, 1, 1000)
+	e.RunUntil(sim.Duration(5 * time.Second))
+	c := f.NodeCounters(1)
+	if !almostEqual(c.RxBytes, 500, 1) {
+		t.Errorf("mid-flight rx = %v, want ~500", c.RxBytes)
+	}
+}
+
+func BenchmarkFabricChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		f := NewFabric(e, testProfile, 8)
+		for j := 0; j < 64; j++ {
+			src, dst := j%8, (j+1+j/8)%8
+			e.Schedule(sim.Time(j)*sim.Duration(10*time.Millisecond), func() {
+				f.StartFlow(src, dst, 1000)
+			})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,176 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// referenceMaxMin is an independent, slow water-filling implementation used
+// to cross-check the fabric's allocator: progressive filling — raise every
+// unfrozen flow's rate uniformly until some link saturates, freeze the
+// flows on that link, repeat.
+func referenceMaxMin(flows [][2]int, capacity float64) []float64 {
+	type link struct {
+		cap   float64
+		flows []int
+	}
+	links := map[[2]int]*link{}
+	for i, f := range flows {
+		out, in := [2]int{f[0], 0}, [2]int{f[1], 1}
+		for _, k := range [][2]int{out, in} {
+			if links[k] == nil {
+				links[k] = &link{cap: capacity}
+			}
+			links[k].flows = append(links[k].flows, i)
+		}
+	}
+	rates := make([]float64, len(flows))
+	frozen := make([]bool, len(flows))
+	for {
+		// Find the smallest uniform increment that saturates some link.
+		delta := math.Inf(1)
+		for _, l := range links {
+			active := 0
+			used := 0.0
+			for _, fi := range l.flows {
+				used += rates[fi]
+				if !frozen[fi] {
+					active++
+				}
+			}
+			if active == 0 {
+				continue
+			}
+			if d := (l.cap - used) / float64(active); d < delta {
+				delta = d
+			}
+		}
+		if math.IsInf(delta, 1) {
+			return rates
+		}
+		for i := range rates {
+			if !frozen[i] {
+				rates[i] += delta
+			}
+		}
+		// Freeze flows on saturated links.
+		for _, l := range links {
+			used := 0.0
+			for _, fi := range l.flows {
+				used += rates[fi]
+			}
+			if used >= l.cap-1e-9 {
+				for _, fi := range l.flows {
+					frozen[fi] = true
+				}
+			}
+		}
+	}
+}
+
+func TestAllocatorMatchesReferenceMaxMin(t *testing.T) {
+	prof := Profile{Name: "ref", Bandwidth: 1000} // no congestion term
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nodes := rng.Intn(6) + 2
+		nflows := rng.Intn(12) + 1
+		var flows [][2]int
+		for i := 0; i < nflows; i++ {
+			src := rng.Intn(nodes)
+			dst := rng.Intn(nodes)
+			if dst == src {
+				dst = (dst + 1) % nodes
+			}
+			flows = append(flows, [2]int{src, dst})
+		}
+		want := referenceMaxMin(flows, prof.Bandwidth)
+
+		// Drive the fabric allocator with the same topology.
+		f := newStaticFabric(prof, nodes, flows)
+		for i, fl := range f.order {
+			if math.Abs(fl.rate-want[i]) > 1e-6*prof.Bandwidth {
+				t.Fatalf("trial %d: flow %d (%d->%d) rate %.3f, reference %.3f\nflows: %v",
+					trial, i, flows[i][0], flows[i][1], fl.rate, want[i], flows)
+			}
+		}
+	}
+}
+
+// staticFabric exposes the allocator without running the clock.
+type staticFabric struct {
+	order []*Flow
+}
+
+func newStaticFabric(prof Profile, nodes int, flows [][2]int) *staticFabric {
+	f := &Fabric{
+		profile:  prof,
+		n:        nodes,
+		flows:    map[*Flow]struct{}{},
+		counters: make([]Counters, nodes),
+	}
+	out := &staticFabric{}
+	for _, fl := range flows {
+		flow := &Flow{Src: fl[0], Dst: fl[1], Bytes: 1, remaining: 1}
+		f.flows[flow] = struct{}{}
+		out.order = append(out.order, flow)
+	}
+	f.reallocate()
+	return out
+}
+
+func TestAllocatorRatesNeverExceedLinkCapacity(t *testing.T) {
+	prof := Profile{Name: "cap", Bandwidth: 100}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		nodes := rng.Intn(5) + 2
+		nflows := rng.Intn(15) + 1
+		var flows [][2]int
+		for i := 0; i < nflows; i++ {
+			src := rng.Intn(nodes)
+			dst := (src + 1 + rng.Intn(nodes-1)) % nodes
+			flows = append(flows, [2]int{src, dst})
+		}
+		f := newStaticFabric(prof, nodes, flows)
+		egress := map[int]float64{}
+		ingress := map[int]float64{}
+		for i, fl := range f.order {
+			if fl.rate < -1e-9 {
+				t.Fatalf("negative rate %v", fl.rate)
+			}
+			egress[flows[i][0]] += fl.rate
+			ingress[flows[i][1]] += fl.rate
+		}
+		for n, v := range egress {
+			if v > prof.Bandwidth+1e-6 {
+				t.Fatalf("trial %d: egress %d oversubscribed: %.3f", trial, n, v)
+			}
+		}
+		for n, v := range ingress {
+			if v > prof.Bandwidth+1e-6 {
+				t.Fatalf("trial %d: ingress %d oversubscribed: %.3f", trial, n, v)
+			}
+		}
+	}
+}
+
+func TestAllocatorWorkConserving(t *testing.T) {
+	// Max-min is work-conserving: every flow is bottlenecked somewhere
+	// (its rate cannot be raised without exceeding a saturated link).
+	prof := Profile{Name: "wc", Bandwidth: 100}
+	flows := [][2]int{{0, 1}, {0, 2}, {3, 1}, {3, 2}, {1, 0}}
+	f := newStaticFabric(prof, 4, flows)
+	egress := map[int]float64{}
+	ingress := map[int]float64{}
+	for i, fl := range f.order {
+		egress[flows[i][0]] += fl.rate
+		ingress[flows[i][1]] += fl.rate
+	}
+	for i, fl := range f.order {
+		outSat := egress[flows[i][0]] >= prof.Bandwidth-1e-6
+		inSat := ingress[flows[i][1]] >= prof.Bandwidth-1e-6
+		if !outSat && !inSat {
+			t.Errorf("flow %d (rate %.1f) touches no saturated link", i, fl.rate)
+		}
+	}
+}

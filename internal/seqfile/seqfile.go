@@ -1,0 +1,298 @@
+// Package seqfile implements Hadoop's SequenceFile container format
+// (uncompressed record layout, version 6): the standard on-disk shape for
+// key/value data between MapReduce jobs. The wire layout is byte-compatible
+// with org.apache.hadoop.io.SequenceFile so the suite's inputs and outputs
+// look exactly like Hadoop's.
+//
+// Layout:
+//
+//	"SEQ" <version byte>
+//	key class name, value class name (Java modified-UTF strings)
+//	compressed flag, block-compressed flag (booleans; always false here)
+//	metadata entry count (int32) + entries (Text pairs)
+//	16-byte sync marker
+//	records: recordLen int32, keyLen int32, key bytes, value bytes
+//	every ~SyncInterval bytes: -1 int32 + the 16-byte sync marker
+package seqfile
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mrmicro/internal/writable"
+)
+
+// Version is the SequenceFile version this package writes (Hadoop's
+// SequenceFile.VERSION for uncompressed/record-compressed files).
+const Version = 6
+
+// SyncInterval is how many bytes may pass between sync markers (Hadoop's
+// SYNC_INTERVAL is 100*(4+16); we match the order of magnitude).
+const SyncInterval = 2000
+
+// MaxRecordLen bounds a single record: a corrupt or hostile length field
+// must not drive a multi-gigabyte allocation before the read fails.
+const MaxRecordLen = 256 << 20
+
+const syncEscape = int32(-1)
+
+var magic = []byte("SEQ")
+
+// Writer appends key/value records to an io.Writer in SequenceFile format.
+type Writer struct {
+	w          *bufio.Writer
+	keyClass   string
+	valueClass string
+	sync       [16]byte
+	sinceSync  int
+	records    int64
+	closed     bool
+}
+
+// NewWriter writes the header for a file holding the given registered
+// writable types and returns the writer. The sync marker is derived
+// deterministically from the class names (Hadoop uses a random UID; a
+// deterministic one keeps runs reproducible).
+func NewWriter(w io.Writer, keyClass, valueClass string) (*Writer, error) {
+	if _, err := writable.New(keyClass); err != nil {
+		return nil, fmt.Errorf("seqfile: key class: %w", err)
+	}
+	if _, err := writable.New(valueClass); err != nil {
+		return nil, fmt.Errorf("seqfile: value class: %w", err)
+	}
+	sw := &Writer{w: bufio.NewWriter(w), keyClass: keyClass, valueClass: valueClass}
+	sum := sha256.Sum256([]byte("mrmicro-seqfile:" + keyClass + ":" + valueClass))
+	copy(sw.sync[:], sum[:16])
+	if err := sw.writeHeader(); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+func (sw *Writer) writeHeader() error {
+	sw.w.Write(magic)
+	sw.w.WriteByte(Version)
+	writeJavaUTF(sw.w, sw.keyClass)
+	writeJavaUTF(sw.w, sw.valueClass)
+	sw.w.WriteByte(0) // not value-compressed
+	sw.w.WriteByte(0) // not block-compressed
+	var n [4]byte     // zero metadata entries
+	sw.w.Write(n[:])
+	_, err := sw.w.Write(sw.sync[:])
+	return err
+}
+
+// Append writes one record.
+func (sw *Writer) Append(key, value writable.Writable) error {
+	if sw.closed {
+		return fmt.Errorf("seqfile: append after close")
+	}
+	kb := writable.Marshal(key)
+	vb := writable.Marshal(value)
+	if sw.sinceSync >= SyncInterval {
+		if err := sw.writeSync(); err != nil {
+			return err
+		}
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(kb)+len(vb)))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(kb)))
+	sw.w.Write(hdr[:])
+	sw.w.Write(kb)
+	if _, err := sw.w.Write(vb); err != nil {
+		return err
+	}
+	sw.sinceSync += 8 + len(kb) + len(vb)
+	sw.records++
+	return nil
+}
+
+func (sw *Writer) writeSync() error {
+	var esc [4]byte
+	binary.BigEndian.PutUint32(esc[:], 0xFFFFFFFF) // -1 escape
+	sw.w.Write(esc[:])
+	if _, err := sw.w.Write(sw.sync[:]); err != nil {
+		return err
+	}
+	sw.sinceSync = 0
+	return nil
+}
+
+// Records returns the number of appended records.
+func (sw *Writer) Records() int64 { return sw.records }
+
+// Close flushes buffered data. It does not close the underlying writer.
+func (sw *Writer) Close() error {
+	if sw.closed {
+		return nil
+	}
+	sw.closed = true
+	return sw.w.Flush()
+}
+
+// Reader iterates a SequenceFile.
+type Reader struct {
+	r          *bufio.Reader
+	keyClass   string
+	valueClass string
+	sync       [16]byte
+}
+
+// NewReader parses the header and prepares iteration.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("seqfile: reading magic: %w", err)
+	}
+	if !bytes.Equal(head[:3], magic) {
+		return nil, fmt.Errorf("seqfile: bad magic %q", head[:3])
+	}
+	if head[3] != Version {
+		return nil, fmt.Errorf("seqfile: unsupported version %d", head[3])
+	}
+	sr := &Reader{r: br}
+	var err error
+	if sr.keyClass, err = readJavaUTF(br); err != nil {
+		return nil, err
+	}
+	if sr.valueClass, err = readJavaUTF(br); err != nil {
+		return nil, err
+	}
+	// Validate the classes are instantiable before any record is read.
+	if _, err = writable.New(sr.keyClass); err != nil {
+		return nil, err
+	}
+	if _, err = writable.New(sr.valueClass); err != nil {
+		return nil, err
+	}
+	var flags [2]byte
+	if _, err := io.ReadFull(br, flags[:]); err != nil {
+		return nil, err
+	}
+	if flags[0] != 0 || flags[1] != 0 {
+		return nil, fmt.Errorf("seqfile: compressed files not supported")
+	}
+	var metaCount [4]byte
+	if _, err := io.ReadFull(br, metaCount[:]); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < binary.BigEndian.Uint32(metaCount[:]); i++ {
+		var t writable.Text
+		if err := readTextFrom(br, &t); err != nil {
+			return nil, err
+		}
+		if err := readTextFrom(br, &t); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := io.ReadFull(br, sr.sync[:]); err != nil {
+		return nil, err
+	}
+	return sr, nil
+}
+
+// KeyClass returns the file's key type name.
+func (sr *Reader) KeyClass() string { return sr.keyClass }
+
+// ValueClass returns the file's value type name.
+func (sr *Reader) ValueClass() string { return sr.valueClass }
+
+// Next reads the next record into freshly allocated writables; ok=false at
+// a clean EOF.
+func (sr *Reader) Next() (key, value writable.Writable, ok bool, err error) {
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(sr.r, lenBuf[:]); err != nil {
+			if err == io.EOF {
+				return nil, nil, false, nil
+			}
+			return nil, nil, false, fmt.Errorf("seqfile: record length: %w", err)
+		}
+		recLen := int32(binary.BigEndian.Uint32(lenBuf[:]))
+		if recLen == syncEscape {
+			var syncBuf [16]byte
+			if _, err := io.ReadFull(sr.r, syncBuf[:]); err != nil {
+				return nil, nil, false, err
+			}
+			if syncBuf != sr.sync {
+				return nil, nil, false, fmt.Errorf("seqfile: corrupt sync marker")
+			}
+			continue
+		}
+		if recLen < 0 || recLen > MaxRecordLen {
+			return nil, nil, false, fmt.Errorf("seqfile: implausible record length %d", recLen)
+		}
+		var klBuf [4]byte
+		if _, err := io.ReadFull(sr.r, klBuf[:]); err != nil {
+			return nil, nil, false, err
+		}
+		keyLen := int32(binary.BigEndian.Uint32(klBuf[:]))
+		if keyLen < 0 || keyLen > recLen {
+			return nil, nil, false, fmt.Errorf("seqfile: bad key length %d of %d", keyLen, recLen)
+		}
+		buf := make([]byte, recLen)
+		if _, err := io.ReadFull(sr.r, buf); err != nil {
+			return nil, nil, false, err
+		}
+		k, _ := writable.New(sr.keyClass)
+		v, _ := writable.New(sr.valueClass)
+		if err := writable.Unmarshal(buf[:keyLen], k); err != nil {
+			return nil, nil, false, fmt.Errorf("seqfile: key: %w", err)
+		}
+		if err := writable.Unmarshal(buf[keyLen:], v); err != nil {
+			return nil, nil, false, fmt.Errorf("seqfile: value: %w", err)
+		}
+		return k, v, true, nil
+	}
+}
+
+// writeJavaUTF emits Java DataOutput.writeUTF: 2-byte big-endian length +
+// (modified) UTF-8 bytes. Class names are ASCII so modified-UTF equals
+// UTF-8 here.
+func writeJavaUTF(w *bufio.Writer, s string) {
+	var n [2]byte
+	binary.BigEndian.PutUint16(n[:], uint16(len(s)))
+	w.Write(n[:])
+	w.WriteString(s)
+}
+
+func readJavaUTF(r *bufio.Reader) (string, error) {
+	var n [2]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return "", err
+	}
+	buf := make([]byte, binary.BigEndian.Uint16(n[:]))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readTextFrom(r *bufio.Reader, t *writable.Text) error {
+	// Text on a stream: read the vint length then the payload.
+	first, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	size := writable.VIntSize(first)
+	head := make([]byte, size)
+	head[0] = first
+	if _, err := io.ReadFull(r, head[1:]); err != nil {
+		return err
+	}
+	n, err := writable.NewDataInput(head).ReadVLong()
+	if err != nil {
+		return err
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	t.Data = payload
+	return nil
+}

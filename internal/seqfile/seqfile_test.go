@@ -1,0 +1,254 @@
+package seqfile
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mrmicro/internal/writable"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "Text", "LongWritable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500 // enough to cross several sync intervals
+	for i := 0; i < n; i++ {
+		if err := w.Append(writable.NewText(fmt.Sprintf("key-%04d", i)), &writable.LongWritable{Value: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Records() != n {
+		t.Errorf("records = %d", w.Records())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.KeyClass() != "Text" || r.ValueClass() != "LongWritable" {
+		t.Errorf("classes = %s/%s", r.KeyClass(), r.ValueClass())
+	}
+	for i := 0; i < n; i++ {
+		k, v, ok, err := r.Next()
+		if err != nil || !ok {
+			t.Fatalf("record %d: ok=%v err=%v", i, ok, err)
+		}
+		if k.(*writable.Text).String() != fmt.Sprintf("key-%04d", i) {
+			t.Fatalf("key %d = %v", i, k)
+		}
+		if v.(*writable.LongWritable).Value != int64(i) {
+			t.Fatalf("value %d = %v", i, v)
+		}
+	}
+	if _, _, ok, err := r.Next(); ok || err != nil {
+		t.Errorf("EOF: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestHeaderLayout(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "BytesWritable", "NullWritable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	b := buf.Bytes()
+	if string(b[:3]) != "SEQ" || b[3] != Version {
+		t.Errorf("magic/version = %q %d", b[:3], b[3])
+	}
+	// Java UTF: 2-byte length then the class name.
+	if b[4] != 0 || b[5] != 13 || string(b[6:19]) != "BytesWritable" {
+		t.Errorf("key class encoding wrong: % x", b[4:19])
+	}
+}
+
+func TestRejectsUnknownClasses(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, "NoSuch", "Text"); err == nil {
+		t.Error("unknown key class accepted")
+	}
+	if _, err := NewWriter(&buf, "Text", "NoSuch"); err == nil {
+		t.Error("unknown value class accepted")
+	}
+}
+
+func TestRejectsCorruptMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE...."))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "Text", "Text")
+	w.Close()
+	b := buf.Bytes()
+	b[3] = 99
+	if _, err := NewReader(bytes.NewReader(b)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestDetectsCorruptSyncMarker(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "Text", "Text")
+	// Force several syncs with big values.
+	big := writable.NewText(string(bytes.Repeat([]byte("x"), 900)))
+	for i := 0; i < 8; i++ {
+		w.Append(writable.NewText("k"), big)
+	}
+	w.Close()
+	b := buf.Bytes()
+	// Find the escape (-1) after the header and corrupt the following sync.
+	hdr := 4 + 2 + 4 + 2 + 4 + 2 + 4 + 16 // magic+2 class names+flags+meta+sync
+	for i := hdr; i+20 < len(b); i++ {
+		if b[i] == 0xFF && b[i+1] == 0xFF && b[i+2] == 0xFF && b[i+3] == 0xFF {
+			b[i+5] ^= 0x55
+			break
+		}
+	}
+	r, err := NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, _, ok, err := r.Next()
+		if err != nil {
+			return // corruption detected
+		}
+		if !ok {
+			t.Fatal("corrupt sync not detected")
+		}
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "Text", "Text")
+	w.Close()
+	if err := w.Append(writable.NewText("k"), writable.NewText("v")); err == nil {
+		t.Error("append after close succeeded")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(keys [][]byte, vals []int64) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, "BytesWritable", "LongWritable")
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if w.Append(&writable.BytesWritable{Data: keys[i]}, &writable.LongWritable{Value: vals[i]}) != nil {
+				return false
+			}
+		}
+		w.Close()
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			k, v, ok, err := r.Next()
+			if err != nil || !ok {
+				return false
+			}
+			if !bytes.Equal(k.(*writable.BytesWritable).Data, keys[i]) {
+				return false
+			}
+			if v.(*writable.LongWritable).Value != vals[i] {
+				return false
+			}
+		}
+		_, _, ok, err := r.Next()
+		return !ok && err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicSyncMarker(t *testing.T) {
+	mk := func() []byte {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf, "Text", "Text")
+		w.Append(writable.NewText("a"), writable.NewText("b"))
+		w.Close()
+		return buf.Bytes()
+	}
+	if !bytes.Equal(mk(), mk()) {
+		t.Error("two identical files differ (sync marker not deterministic)")
+	}
+}
+
+func BenchmarkWrite1KRecords(b *testing.B) {
+	key := writable.NewText("benchmark-key")
+	val := &writable.BytesWritable{Data: make([]byte, 1024)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf, "Text", "BytesWritable")
+		for j := 0; j < 1000; j++ {
+			w.Append(key, val)
+		}
+		w.Close()
+	}
+}
+
+func TestReaderNeverPanicsOnGarbage(t *testing.T) {
+	f := func(garbage []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		r, err := NewReader(bytes.NewReader(garbage))
+		if err != nil {
+			return true
+		}
+		for i := 0; i < 100; i++ {
+			_, _, more, err := r.Next()
+			if err != nil || !more {
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderTruncatedFile(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "Text", "Text")
+	for i := 0; i < 10; i++ {
+		w.Append(writable.NewText("key"), writable.NewText("value"))
+	}
+	w.Close()
+	full := buf.Bytes()
+	// Every truncation point must yield a clean error or EOF, not a panic.
+	for n := 0; n < len(full); n += 7 {
+		r, err := NewReader(bytes.NewReader(full[:n]))
+		if err != nil {
+			continue
+		}
+		for {
+			_, _, ok, err := r.Next()
+			if err != nil || !ok {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with virtual time by the engine. All Proc methods must be called from the
+// process's own goroutine.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	parked bool
+	dead   bool
+}
+
+// Go starts a new process running fn. The process begins executing at the
+// current virtual time (after already-queued events for this instant).
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.nprocs++
+	e.Schedule(0, func() {
+		go func() {
+			<-p.resume
+			fn(p)
+			p.dead = true
+			e.nprocs--
+			e.yielded <- struct{}{}
+		}()
+		p.dispatch()
+	})
+	return p
+}
+
+// dispatch hands control to the process and waits until it yields back.
+// Called from event context only.
+func (p *Proc) dispatch() {
+	p.resume <- struct{}{}
+	<-p.eng.yielded
+}
+
+// park suspends the process until some other activity unparks it.
+func (p *Proc) park() {
+	p.parked = true
+	p.eng.yielded <- struct{}{}
+	<-p.resume
+}
+
+// unpark schedules the process to resume at the current virtual time.
+// Safe to call from event context or from another process.
+func (p *Proc) unpark() {
+	if !p.parked {
+		panic(fmt.Sprintf("sim: unpark of non-parked process %q", p.name))
+	}
+	p.parked = false
+	p.eng.Schedule(0, p.dispatch)
+}
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep suspends the process for d virtual nanoseconds.
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		// Still yield so that same-instant events queued before us run in
+		// deterministic order.
+		d = 0
+	}
+	p.eng.Schedule(d, func() { p.dispatch() })
+	p.eng.yielded <- struct{}{}
+	<-p.resume
+}
+
+// Yield gives other same-instant events a chance to run.
+func (p *Proc) Yield() { p.Sleep(0) }

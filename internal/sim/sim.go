@@ -1,0 +1,131 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// An Engine advances a virtual clock through a totally ordered event queue.
+// Simulated activities are written as ordinary Go functions running in
+// processes (Proc); the engine runs exactly one process at a time and hands
+// control back and forth through channels, so simulations are sequential and
+// reproducible even though they are written in a natural blocking style.
+//
+// Events scheduled for the same instant fire in scheduling order (a strictly
+// increasing sequence number breaks ties), which makes every run with the
+// same inputs bit-for-bit identical.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It deliberately mirrors time.Duration's resolution so model
+// code can use time.Duration literals for intervals.
+type Time int64
+
+// Duration converts a time.Duration to the engine's tick unit.
+func Duration(d time.Duration) Time { return Time(d) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// String formats the time as a duration from simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// DurationOf converts seconds to a Time interval.
+func DurationOf(seconds float64) Time { return Time(seconds * float64(time.Second)) }
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator instance. The zero value is not
+// usable; create one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     int64
+	events  eventHeap
+	yielded chan struct{}
+	nprocs  int // live processes (for leak diagnostics)
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{yielded: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule arranges for fn to run at now+d. fn runs in event context: it must
+// not block (use Go for blocking activities). Negative delays are treated as
+// zero.
+func (e *Engine) Schedule(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.at(e.now+d, fn)
+}
+
+func (e *Engine) at(t Time, fn func()) {
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Run processes events until none remain. It returns the final clock value.
+// It panics if a process is still blocked when the event queue drains (a
+// deadlock in the model), listing the stuck processes.
+func (e *Engine) Run() Time {
+	e.run(-1)
+	if e.nprocs > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events at %v", e.nprocs, e.now))
+	}
+	return e.now
+}
+
+// RunUntil processes events with timestamps <= t, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	e.run(t)
+	if e.now < t {
+		e.now = t
+	}
+}
+
+func (e *Engine) run(limit Time) {
+	for len(e.events) > 0 {
+		if limit >= 0 && e.events[0].at > limit {
+			return
+		}
+		ev := heap.Pop(&e.events).(*event)
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: event scheduled in the past: %v < %v", ev.at, e.now))
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,52 @@
+package writable
+
+import "fmt"
+
+// ArrayWritable is Hadoop's homogeneous array container: an int32 element
+// count followed by each element's serialization. The element type is not
+// on the wire — readers must know it (Hadoop subclasses ArrayWritable per
+// type; here ValueClass plays that role and must be set before ReadFields).
+type ArrayWritable struct {
+	ValueClass string
+	Values     []Writable
+}
+
+// NewArrayWritable builds an array of the given registered element type.
+func NewArrayWritable(valueClass string, values ...Writable) *ArrayWritable {
+	return &ArrayWritable{ValueClass: valueClass, Values: values}
+}
+
+// Write serializes the count and elements.
+func (a *ArrayWritable) Write(o *DataOutput) {
+	o.WriteInt32(int32(len(a.Values)))
+	for _, v := range a.Values {
+		v.Write(o)
+	}
+}
+
+// ReadFields replaces the array contents; ValueClass selects the element
+// factory.
+func (a *ArrayWritable) ReadFields(in *DataInput) error {
+	n, err := in.ReadInt32()
+	if err != nil {
+		return err
+	}
+	if n < 0 {
+		return fmt.Errorf("writable: negative ArrayWritable length %d", n)
+	}
+	a.Values = a.Values[:0]
+	for i := int32(0); i < n; i++ {
+		v, err := New(a.ValueClass)
+		if err != nil {
+			return fmt.Errorf("writable: ArrayWritable element: %w", err)
+		}
+		if err := v.ReadFields(in); err != nil {
+			return fmt.Errorf("writable: ArrayWritable element %d: %w", i, err)
+		}
+		a.Values = append(a.Values, v)
+	}
+	return nil
+}
+
+// String renders the elements.
+func (a *ArrayWritable) String() string { return fmt.Sprint(a.Values) }

@@ -1,0 +1,374 @@
+package writable
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, w Writable, fresh Writable) {
+	t.Helper()
+	buf := Marshal(w)
+	if err := Unmarshal(buf, fresh); err != nil {
+		t.Fatalf("unmarshal %T: %v", w, err)
+	}
+}
+
+func TestIntWritableRoundTrip(t *testing.T) {
+	f := func(v int32) bool {
+		out := new(IntWritable)
+		roundTrip(t, &IntWritable{Value: v}, out)
+		return out.Value == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLongWritableRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		out := new(LongWritable)
+		roundTrip(t, &LongWritable{Value: v}, out)
+		return out.Value == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVLongRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		out := new(VLongWritable)
+		roundTrip(t, &VLongWritable{Value: v}, out)
+		return out.Value == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Boundary cases of the Hadoop format.
+	for _, v := range []int64{0, 127, 128, -112, -113, 255, 256, -1, math.MaxInt64, math.MinInt64} {
+		out := new(VLongWritable)
+		roundTrip(t, &VLongWritable{Value: v}, out)
+		if out.Value != v {
+			t.Errorf("vlong %d round-tripped to %d", v, out.Value)
+		}
+	}
+}
+
+func TestVLongKnownEncodings(t *testing.T) {
+	// Byte-exact vectors from Hadoop WritableUtils.
+	cases := []struct {
+		v    int64
+		want []byte
+	}{
+		{0, []byte{0}},
+		{127, []byte{127}},
+		{-112, []byte{0x90}},       // single byte -112
+		{128, []byte{0x8f, 0x80}},  // -113 prefix, one magnitude byte
+		{-113, []byte{0x87, 0x70}}, // -121 prefix, ~v = 112
+		{255, []byte{0x8f, 0xff}},
+		{256, []byte{0x8e, 0x01, 0x00}}, // -114 prefix, two bytes
+		{-256, []byte{0x87, 0xff}},      // -121 prefix, ~v = 255
+	}
+	for _, c := range cases {
+		o := NewDataOutput(4)
+		o.WriteVLong(c.v)
+		if !bytes.Equal(o.Bytes(), c.want) {
+			t.Errorf("WriteVLong(%d) = %x, want %x", c.v, o.Bytes(), c.want)
+		}
+		if got := VLongEncodedLen(c.v); got != len(c.want) {
+			t.Errorf("VLongEncodedLen(%d) = %d, want %d", c.v, got, len(c.want))
+		}
+	}
+}
+
+func TestVIntSizeMatchesEncoding(t *testing.T) {
+	f := func(v int64) bool {
+		o := NewDataOutput(10)
+		o.WriteVLong(v)
+		enc := o.Bytes()
+		return VIntSize(enc[0]) == len(enc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesWritableRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		out := new(BytesWritable)
+		roundTrip(t, &BytesWritable{Data: data}, out)
+		return bytes.Equal(out.Data, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesWritableWireFormat(t *testing.T) {
+	buf := Marshal(&BytesWritable{Data: []byte{0xAA, 0xBB}})
+	want := []byte{0, 0, 0, 2, 0xAA, 0xBB}
+	if !bytes.Equal(buf, want) {
+		t.Errorf("wire = %x, want %x", buf, want)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "hello", "日本語", "a\x00b", "mixed 日本 ascii"} {
+		out := new(Text)
+		roundTrip(t, NewText(s), out)
+		if out.String() != s {
+			t.Errorf("text %q round-tripped to %q", s, out.String())
+		}
+	}
+}
+
+func TestTextRejectsInvalidUTF8(t *testing.T) {
+	o := NewDataOutput(8)
+	o.WriteVInt(2)
+	o.Write([]byte{0xff, 0xfe})
+	if err := new(Text).ReadFields(NewDataInput(o.Bytes())); err == nil {
+		t.Error("expected invalid-UTF-8 error")
+	}
+}
+
+func TestTruncatedInputs(t *testing.T) {
+	full := Marshal(&LongWritable{Value: 123456789})
+	for n := 0; n < len(full); n++ {
+		if err := new(LongWritable).ReadFields(NewDataInput(full[:n])); err == nil {
+			t.Errorf("no error for %d-byte prefix", n)
+		}
+	}
+	bw := Marshal(&BytesWritable{Data: make([]byte, 10)})
+	if err := new(BytesWritable).ReadFields(NewDataInput(bw[:7])); err == nil {
+		t.Error("no error for truncated BytesWritable payload")
+	}
+}
+
+func TestNegativeLengthRejected(t *testing.T) {
+	o := NewDataOutput(4)
+	o.WriteInt32(-5)
+	if err := new(BytesWritable).ReadFields(NewDataInput(o.Bytes())); err == nil {
+		t.Error("negative BytesWritable length accepted")
+	}
+	o2 := NewDataOutput(4)
+	o2.WriteVInt(-3)
+	if err := new(Text).ReadFields(NewDataInput(o2.Bytes())); err == nil {
+		t.Error("negative Text length accepted")
+	}
+}
+
+func TestUnmarshalRejectsTrailing(t *testing.T) {
+	buf := append(Marshal(&IntWritable{Value: 1}), 0xFF)
+	if err := Unmarshal(buf, new(IntWritable)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+// Raw comparators must agree with CompareTo on deserialized values.
+func TestRawComparatorConsistency(t *testing.T) {
+	t.Run("IntWritable", func(t *testing.T) {
+		f := func(a, b int32) bool {
+			wa, wb := &IntWritable{Value: a}, &IntWritable{Value: b}
+			return CompareInt32BE(Marshal(wa), Marshal(wb)) == wa.CompareTo(wb)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("LongWritable", func(t *testing.T) {
+		f := func(a, b int64) bool {
+			wa, wb := &LongWritable{Value: a}, &LongWritable{Value: b}
+			return CompareInt64BE(Marshal(wa), Marshal(wb)) == wa.CompareTo(wb)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("VLongWritable", func(t *testing.T) {
+		f := func(a, b int64) bool {
+			wa, wb := &VLongWritable{Value: a}, &VLongWritable{Value: b}
+			return CompareVLong(Marshal(wa), Marshal(wb)) == wa.CompareTo(wb)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("BytesWritable", func(t *testing.T) {
+		f := func(a, b []byte) bool {
+			wa, wb := &BytesWritable{Data: a}, &BytesWritable{Data: b}
+			got := CompareBytesWritable(Marshal(wa), Marshal(wb))
+			return sign(got) == sign(wa.CompareTo(wb))
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("Text", func(t *testing.T) {
+		f := func(a, b string) bool {
+			wa, wb := NewText(a), NewText(b)
+			got := CompareText(Marshal(wa), Marshal(wb))
+			return sign(got) == sign(wa.CompareTo(wb))
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func sign(v int) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	w, err := New("BytesWritable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.(*BytesWritable); !ok {
+		t.Errorf("New(BytesWritable) = %T", w)
+	}
+	if _, err := New("NoSuchType"); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := Comparator("Text"); err != nil {
+		t.Errorf("Text comparator missing: %v", err)
+	}
+	if _, err := Comparator("DoubleWritable"); err == nil {
+		t.Error("DoubleWritable should have no raw comparator registered")
+	}
+	names := Names()
+	if len(names) < 10 {
+		t.Errorf("registered types = %v, want >= 10", names)
+	}
+}
+
+func TestFloatDoubleBooleanRoundTrip(t *testing.T) {
+	fo := new(FloatWritable)
+	roundTrip(t, &FloatWritable{Value: 3.25}, fo)
+	if fo.Value != 3.25 {
+		t.Error("float mismatch")
+	}
+	do := new(DoubleWritable)
+	roundTrip(t, &DoubleWritable{Value: -1e300}, do)
+	if do.Value != -1e300 {
+		t.Error("double mismatch")
+	}
+	bo := new(BooleanWritable)
+	roundTrip(t, &BooleanWritable{Value: true}, bo)
+	if !bo.Value {
+		t.Error("bool mismatch")
+	}
+	if (&BooleanWritable{Value: false}).CompareTo(&BooleanWritable{Value: true}) != -1 {
+		t.Error("false should sort before true")
+	}
+}
+
+func TestNullWritable(t *testing.T) {
+	if len(Marshal(NullWritable{})) != 0 {
+		t.Error("NullWritable must serialize to zero bytes")
+	}
+	if (NullWritable{}).CompareTo(NullWritable{}) != 0 {
+		t.Error("NullWritable compare != 0")
+	}
+}
+
+func TestDataOutputPrimitives(t *testing.T) {
+	o := NewDataOutput(16)
+	o.WriteUint16(0xBEEF)
+	o.WriteBool(true)
+	in := NewDataInput(o.Bytes())
+	if v, _ := in.ReadUint16(); v != 0xBEEF {
+		t.Errorf("uint16 = %x", v)
+	}
+	if v, _ := in.ReadBool(); !v {
+		t.Error("bool = false")
+	}
+	o.Reset()
+	if o.Len() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func BenchmarkMarshalBytesWritable1K(b *testing.B) {
+	w := &BytesWritable{Data: make([]byte, 1024)}
+	o := NewDataOutput(2048)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		o.Reset()
+		w.Write(o)
+	}
+}
+
+func BenchmarkCompareText(b *testing.B) {
+	x := Marshal(NewText("benchmark key alpha"))
+	y := Marshal(NewText("benchmark key beta"))
+	for i := 0; i < b.N; i++ {
+		_ = CompareText(x, y)
+	}
+}
+
+func TestArrayWritableRoundTrip(t *testing.T) {
+	a := NewArrayWritable("IntWritable",
+		&IntWritable{Value: 1}, &IntWritable{Value: -7}, &IntWritable{Value: 1 << 20})
+	buf := Marshal(a)
+	out := &ArrayWritable{ValueClass: "IntWritable"}
+	if err := Unmarshal(buf, out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Values) != 3 {
+		t.Fatalf("len = %d", len(out.Values))
+	}
+	for i, want := range []int32{1, -7, 1 << 20} {
+		if got := out.Values[i].(*IntWritable).Value; got != want {
+			t.Errorf("element %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestArrayWritableEmpty(t *testing.T) {
+	a := NewArrayWritable("Text")
+	out := &ArrayWritable{ValueClass: "Text"}
+	if err := Unmarshal(Marshal(a), out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Values) != 0 {
+		t.Errorf("len = %d", len(out.Values))
+	}
+}
+
+func TestArrayWritableBadElementClass(t *testing.T) {
+	a := NewArrayWritable("IntWritable", &IntWritable{Value: 5})
+	out := &ArrayWritable{ValueClass: "NoSuchClass"}
+	if err := Unmarshal(Marshal(a), out); err == nil {
+		t.Error("unknown element class accepted")
+	}
+}
+
+func TestArrayWritableNegativeCount(t *testing.T) {
+	o := NewDataOutput(4)
+	o.WriteInt32(-2)
+	out := &ArrayWritable{ValueClass: "IntWritable"}
+	if err := out.ReadFields(NewDataInput(o.Bytes())); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestArrayWritableNestedText(t *testing.T) {
+	a := NewArrayWritable("Text", NewText("alpha"), NewText("βήτα"))
+	out := &ArrayWritable{ValueClass: "Text"}
+	if err := Unmarshal(Marshal(a), out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Values[1].(*Text).String() != "βήτα" {
+		t.Errorf("element 1 = %v", out.Values[1])
+	}
+}

@@ -1,0 +1,204 @@
+// Package yarn schedules simulated jobs the Hadoop 2.x way: a
+// ResourceManager leases memory-sized containers on NodeManagers to a
+// per-job ApplicationMaster, which runs map tasks first and ramps up
+// reducers at the slow-start threshold. Task execution bodies are shared
+// with the MRv1 scheduler (package mrsim).
+//
+// The structural differences from MRv1 that the paper's Fig. 3 exercises —
+// no fixed slot grid, memory-bound concurrency, faster (1 s) allocation
+// heartbeats, an AM container consuming resources on one node — are all
+// modelled.
+package yarn
+
+import (
+	"fmt"
+
+	"mrmicro/internal/cluster"
+	"mrmicro/internal/costmodel"
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/mrsim"
+	"mrmicro/internal/sim"
+)
+
+// Re-exported spec types shared with mrv1.
+type (
+	// JobSpec is mrsim.JobSpec.
+	JobSpec = mrsim.JobSpec
+	// SegSpec is mrsim.SegSpec.
+	SegSpec = mrsim.SegSpec
+	// Report is mrsim.Report.
+	Report = mrsim.Report
+)
+
+// Container sizes (MB), Hadoop 2.x defaults of the paper's era.
+const (
+	defaultMapContainerMB    = 1024
+	defaultReduceContainerMB = 1024
+	amContainerMB            = 1536
+	amHeartbeatSeconds       = 1.0
+)
+
+// Engine is a simulated Hadoop 2.x (YARN) runtime bound to one cluster.
+type Engine struct {
+	Cluster *cluster.Cluster
+	Model   *costmodel.Model
+}
+
+// New creates an engine with the default cost model if model is nil.
+func New(c *cluster.Cluster, model *costmodel.Model) *Engine {
+	if model == nil {
+		model = costmodel.Default()
+	}
+	return &Engine{Cluster: c, Model: model}
+}
+
+// RunningJob is a job in flight; Done resolves to *Report.
+type RunningJob struct {
+	Done *sim.Future
+}
+
+// Run starts the job and drives the simulation to completion.
+func (e *Engine) Run(spec *JobSpec) (*Report, error) {
+	rj, err := e.Start(spec)
+	if err != nil {
+		return nil, err
+	}
+	e.Cluster.Engine().Run()
+	return rj.Done.Wait(nil).(*Report), nil
+}
+
+// Start submits the job and returns immediately; the caller drives the sim
+// engine.
+func (e *Engine) Start(spec *JobSpec) (*RunningJob, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	slaves := e.Cluster.Slaves()
+	if len(slaves) == 0 {
+		return nil, fmt.Errorf("yarn: cluster has no slaves")
+	}
+	js := mrsim.NewJobState(spec, e.Cluster, e.Model)
+
+	// NodeManager capacity: explicit conf, else 3/4 of machine RAM — the
+	// usual yarn.nodemanager.resource.memory-mb deployment choice.
+	defaultMB := int(slaves[0].Spec.MemoryBytes / (1 << 20) * 3 / 4)
+	nodeMB := spec.Conf.GetInt(mapreduce.ConfNodeMemoryMB, defaultMB)
+	mapMB := spec.Conf.GetInt(mapreduce.ConfMapMemoryMB, defaultMapContainerMB)
+	reduceMB := spec.Conf.GetInt(mapreduce.ConfReduceMemoryMB, defaultReduceContainerMB)
+	if mapMB > nodeMB || reduceMB > nodeMB {
+		return nil, fmt.Errorf("yarn: container size exceeds NodeManager capacity %d MB", nodeMB)
+	}
+
+	am := &appMaster{
+		eng:      e,
+		js:       js,
+		freeMB:   make([]int, len(slaves)),
+		mapMB:    mapMB,
+		reduceMB: reduceMB,
+	}
+	for i := range am.freeMB {
+		am.freeMB[i] = nodeMB
+	}
+	e.Cluster.Engine().Go(spec.Name+"/appmaster", am.run)
+	return &RunningJob{Done: js.Done}, nil
+}
+
+// appMaster owns the YARN scheduling policy for one job: it leases
+// containers against per-node free memory and assigns tasks round-robin
+// for spread, maps first, reducers after slow-start.
+type appMaster struct {
+	eng      *Engine
+	js       *mrsim.JobState
+	freeMB   []int // per slave (index into Cluster.Slaves())
+	mapMB    int
+	reduceMB int
+	nextNode int
+
+	pendingMaps    []int
+	pendingReduces []int
+}
+
+func (am *appMaster) run(p *sim.Proc) {
+	js := am.js
+	js.Report.JobStart = p.Now()
+	// Client submission + RM accepting the app + AM container spin-up.
+	p.Sleep(sim.DurationOf(js.Model.JobSetup + js.Model.TaskStartup))
+
+	// The AM container occupies memory on the first slave.
+	amNode := 0
+	am.freeMB[amNode] -= amContainerMB
+
+	for m := 0; m < js.Spec.NumMaps(); m++ {
+		am.pendingMaps = append(am.pendingMaps, m)
+	}
+	for r := 0; r < js.Spec.NumReduces(); r++ {
+		am.pendingReduces = append(am.pendingReduces, r)
+	}
+	js.AllDone.Add(js.Spec.NumMaps() + js.Spec.NumReduces())
+	slowstart := js.SlowstartTarget()
+
+	hb := sim.DurationOf(amHeartbeatSeconds)
+	for !js.Finished && (len(am.pendingMaps) > 0 || len(am.pendingReduces) > 0 || js.AllDone.Count() > 0) {
+		// Allocate map containers first (the MR AM requests maps eagerly).
+		am.pendingMaps = am.allocate(am.pendingMaps, am.mapMB, func(node *cluster.Node, idx int, release func()) {
+			js.MapLoc[idx] = node.Index
+			js.Cluster.Engine().Go(fmt.Sprintf("%s/map%d", js.Spec.Name, idx), func(p *sim.Proc) {
+				js.RunMapTask(p, node, idx, func(ok bool) {
+					release()
+					if !ok {
+						am.pendingMaps = append(am.pendingMaps, idx)
+					}
+				})
+			})
+		})
+		if js.MapsDone >= slowstart {
+			am.pendingReduces = am.allocate(am.pendingReduces, am.reduceMB, func(node *cluster.Node, idx int, release func()) {
+				js.Cluster.Engine().Go(fmt.Sprintf("%s/reduce%d", js.Spec.Name, idx), func(p *sim.Proc) {
+					js.RunReduceTask(p, node, idx, func(ok bool) {
+						release()
+						if !ok {
+							am.pendingReduces = append(am.pendingReduces, idx)
+						}
+					})
+				})
+			})
+		}
+		if js.AllDone.Count() == 0 && len(am.pendingMaps) == 0 && len(am.pendingReduces) == 0 {
+			break
+		}
+		p.Sleep(hb)
+	}
+
+	js.AllDone.Wait(p)
+	js.CleanupIntermediate()
+	p.Sleep(sim.DurationOf(js.Model.JobCleanup))
+	js.Finish(p.Now())
+}
+
+// allocate leases containers of sizeMB for as many pending tasks as fit,
+// spreading round-robin across nodes; it returns the still-pending tasks.
+func (am *appMaster) allocate(pending []int, sizeMB int, launch func(node *cluster.Node, idx int, release func())) []int {
+	slaves := am.js.Cluster.Slaves()
+	n := len(slaves)
+	for len(pending) > 0 {
+		// Find a node with room, starting from the round-robin cursor.
+		found := -1
+		for k := 0; k < n; k++ {
+			cand := (am.nextNode + k) % n
+			if am.freeMB[cand] >= sizeMB {
+				found = cand
+				break
+			}
+		}
+		if found < 0 {
+			break
+		}
+		am.nextNode = (found + 1) % n
+		am.freeMB[found] -= sizeMB
+		idx := pending[0]
+		pending = pending[1:]
+		release := func() { am.freeMB[found] += sizeMB }
+		launch(slaves[found], idx, release)
+	}
+	return pending
+}

@@ -1,0 +1,188 @@
+package yarn
+
+import (
+	"testing"
+
+	"mrmicro/internal/cluster"
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/mrv1"
+	"mrmicro/internal/netsim"
+	"mrmicro/internal/sim"
+)
+
+func uniformSpec(name string, maps, reduces int, recsPerSeg, bytesPerRec int64) *JobSpec {
+	parts := make([][]SegSpec, maps)
+	for m := range parts {
+		parts[m] = make([]SegSpec, reduces)
+		for r := range parts[m] {
+			parts[m][r] = SegSpec{Records: recsPerSeg, Bytes: recsPerSeg * bytesPerRec}
+		}
+	}
+	return &JobSpec{
+		Name:       name,
+		Conf:       mapreduce.NewConf(),
+		Partitions: parts,
+		TypeFactor: 1.0,
+	}
+}
+
+func runYarn(t *testing.T, profile netsim.Profile, slaves, maps, reduces int, recsPerSeg, bytesPerRec int64) *Report {
+	t.Helper()
+	e := sim.NewEngine()
+	c := cluster.ClusterA(e, slaves, profile)
+	rep, err := New(c, nil).Run(uniformSpec("y", maps, reduces, recsPerSeg, bytesPerRec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestYarnJobCompletes(t *testing.T) {
+	rep := runYarn(t, netsim.OneGigE, 8, 32, 16, 500, 1024)
+	if rep.ExecutionSeconds() <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	if rep.MapPhaseEnd <= rep.JobStart || rep.JobEnd <= rep.MapPhaseEnd {
+		t.Error("phase timestamps disordered")
+	}
+	c := rep.Counters
+	if c.Task(mapreduce.CtrMapOutputRecords) != 32*16*500 {
+		t.Errorf("map output records = %d", c.Task(mapreduce.CtrMapOutputRecords))
+	}
+}
+
+func TestYarnFasterNetworkNeverSlower(t *testing.T) {
+	recs := int64(16 << 30 / (32 * 16) / 1024)
+	t1 := runYarn(t, netsim.OneGigE, 8, 32, 16, recs, 1024).ExecutionSeconds()
+	t10 := runYarn(t, netsim.TenGigE, 8, 32, 16, recs, 1024).ExecutionSeconds()
+	tq := runYarn(t, netsim.IPoIBQDR32, 8, 32, 16, recs, 1024).ExecutionSeconds()
+	if !(t1 > t10 && t10 > tq) {
+		t.Errorf("expected 1GigE > 10GigE > QDR, got %.1f / %.1f / %.1f", t1, t10, tq)
+	}
+	t.Logf("YARN 16GB: 1GigE=%.1fs 10GigE=%.1fs (%.1f%%) QDR=%.1fs (%.1f%%)",
+		t1, t10, 100*(t1-t10)/t1, tq, 100*(t1-tq)/t1)
+}
+
+func TestYarnContainerLimitRespected(t *testing.T) {
+	// Constrain NodeManagers to 2 GB: only 2 task containers fit per node
+	// (AM takes 1.5 GB on node 0), so a 16-map job on 2 slaves must run in
+	// waves and still complete.
+	spec := uniformSpec("tight", 16, 2, 200, 512)
+	spec.Conf.SetInt(mapreduce.ConfNodeMemoryMB, 2048)
+	e := sim.NewEngine()
+	c := cluster.ClusterA(e, 2, netsim.TenGigE)
+	rep, err := New(c, nil).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExecutionSeconds() <= 0 {
+		t.Fatal("job did not run")
+	}
+
+	// Same job with ample memory must be at least as fast.
+	spec2 := uniformSpec("roomy", 16, 2, 200, 512)
+	e2 := sim.NewEngine()
+	c2 := cluster.ClusterA(e2, 2, netsim.TenGigE)
+	rep2, err := New(c2, nil).Run(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.ExecutionSeconds() > rep.ExecutionSeconds() {
+		t.Errorf("roomy cluster slower: %.1f > %.1f", rep2.ExecutionSeconds(), rep.ExecutionSeconds())
+	}
+}
+
+func TestYarnOversizedContainerRejected(t *testing.T) {
+	spec := uniformSpec("big", 1, 1, 1, 1)
+	spec.Conf.SetInt(mapreduce.ConfMapMemoryMB, 1<<20) // 1 TB container
+	e := sim.NewEngine()
+	c := cluster.ClusterA(e, 1, netsim.OneGigE)
+	if _, err := New(c, nil).Start(spec); err == nil {
+		t.Error("oversized container accepted")
+	}
+}
+
+func TestYarnSkewAmplifiedByReducerCount(t *testing.T) {
+	// The paper's Fig. 3(c) observation: with 16 reducers, a 50 % skewed
+	// reducer holds 8x the average share, so skew hurts YARN's wider jobs
+	// more than MRv1's (>3x vs ~2x average-distribution time).
+	mkSkew := func(maps, reduces int, perMap int64) *JobSpec {
+		recBytes := int64(2048)
+		parts := make([][]SegSpec, maps)
+		for m := range parts {
+			parts[m] = make([]SegSpec, reduces)
+			recs := perMap / recBytes
+			half := recs / 2
+			rest := (recs - half) / int64(reduces-1)
+			parts[m][0] = SegSpec{Records: half, Bytes: half * recBytes}
+			for r := 1; r < reduces; r++ {
+				parts[m][r] = SegSpec{Records: rest, Bytes: rest * recBytes}
+			}
+		}
+		return &JobSpec{Name: "skew", Conf: mapreduce.NewConf(), Partitions: parts, TypeFactor: 1}
+	}
+	e := sim.NewEngine()
+	c := cluster.ClusterA(e, 8, netsim.IPoIBQDR32)
+	skew, err := New(c, nil).Run(mkSkew(32, 16, 512<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := runYarn(t, netsim.IPoIBQDR32, 8, 32, 16, 512<<20/2048/16, 2048)
+	ratio := skew.ExecutionSeconds() / avg.ExecutionSeconds()
+	if ratio < 2.0 {
+		t.Errorf("skew/avg ratio = %.2f, want >= 2 with 16 reducers", ratio)
+	}
+	t.Logf("YARN skew ratio = %.2fx", ratio)
+}
+
+func TestYarnDeterministic(t *testing.T) {
+	a := runYarn(t, netsim.IPoIBQDR32, 4, 16, 8, 1000, 1024)
+	b := runYarn(t, netsim.IPoIBQDR32, 4, 16, 8, 1000, 1024)
+	if a.ExecutionSeconds() != b.ExecutionSeconds() {
+		t.Errorf("non-deterministic: %v vs %v", a.ExecutionSeconds(), b.ExecutionSeconds())
+	}
+}
+
+func TestYarnVsMRv1SameSpecBothComplete(t *testing.T) {
+	// Cross-engine sanity: identical spec, identical counters.
+	spec1 := uniformSpec("x", 8, 4, 1000, 1024)
+	e1 := sim.NewEngine()
+	c1 := cluster.ClusterA(e1, 4, netsim.TenGigE)
+	repY, err := New(c1, nil).Run(spec1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2 := uniformSpec("x", 8, 4, 1000, 1024)
+	e2 := sim.NewEngine()
+	c2 := cluster.ClusterA(e2, 4, netsim.TenGigE)
+	repM, err := mrv1.New(c2, nil).Run(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{mapreduce.CtrMapOutputRecords, mapreduce.CtrReduceInputRecords, mapreduce.CtrShuffledMaps} {
+		if repY.Counters.Task(name) != repM.Counters.Task(name) {
+			t.Errorf("counter %s differs: yarn %d, mrv1 %d", name,
+				repY.Counters.Task(name), repM.Counters.Task(name))
+		}
+	}
+}
+
+func TestYarnRequeuesFailedContainers(t *testing.T) {
+	spec := uniformSpec("yfault", 8, 4, 1000, 1024)
+	spec.MapFailures = map[int]int{0: 2, 3: 1}
+	spec.ReduceFailures = map[int]int{1: 1}
+	e := sim.NewEngine()
+	c := cluster.ClusterA(e, 4, netsim.TenGigE)
+	rep, err := New(c, nil).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExecutionSeconds() <= 0 {
+		t.Fatal("faulty YARN job did not complete")
+	}
+	clean := runYarn(t, netsim.TenGigE, 4, 8, 4, 1000, 1024)
+	if rep.ExecutionSeconds() <= clean.ExecutionSeconds() {
+		t.Errorf("faults did not cost time: %.1fs vs clean %.1fs",
+			rep.ExecutionSeconds(), clean.ExecutionSeconds())
+	}
+}
