@@ -19,7 +19,10 @@ import (
 	"time"
 
 	"mrmicro/internal/cliutil"
+	"mrmicro/internal/faultinject"
 	"mrmicro/internal/localrun"
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/metrics"
 	"mrmicro/internal/microbench"
 	"mrmicro/internal/netsim"
 )
@@ -45,6 +48,15 @@ func main() {
 		tasklog  = flag.Bool("tasklog", false, "print the per-task-attempt timeline (Gantt)")
 		traceF   = flag.String("trace", "", "write a Chrome trace-event JSON of the job to this file")
 		local    = flag.Bool("local", false, "execute for real in-process (small scale) instead of simulating")
+
+		faultSeed    = flag.Int64("fault-seed", 0, "seed for injected faults (default: -seed)")
+		faultMap     = flag.Float64("fault-map-rate", 0, "probability a map attempt dies mid-shuffle-registration")
+		faultReduce  = flag.Float64("fault-reduce-rate", 0, "probability a reduce attempt dies after its shuffle")
+		faultDrop    = flag.Float64("fault-shuffle-drop", 0, "probability a shuffle fetch drops its connection")
+		faultTrunc   = flag.Float64("fault-shuffle-truncate", 0, "probability a shuffle fetch delivers a truncated payload")
+		faultSlow    = flag.Float64("fault-shuffle-slow", 0, "probability a shuffle fetch is served by a slow peer")
+		faultSpill   = flag.Float64("fault-spill", 0, "probability a map-side spill hits a transient I/O error")
+		faultRetries = flag.Int("fault-max-attempts", 0, "task attempt bound under faults (default 4, Hadoop's mapreduce.map.maxattempts)")
 	)
 	flag.Parse()
 
@@ -65,6 +77,19 @@ func main() {
 	}
 	if *monitor {
 		cfg.MonitorInterval = time.Second
+	}
+	if *faultMap > 0 || *faultReduce > 0 || *faultDrop > 0 || *faultTrunc > 0 ||
+		*faultSlow > 0 || *faultSpill > 0 {
+		cfg.Faults = &faultinject.Plan{
+			Seed:                pick64(*faultSeed, *seed),
+			MapFailureRate:      *faultMap,
+			ReduceFailureRate:   *faultReduce,
+			ShuffleDropRate:     *faultDrop,
+			ShuffleTruncateRate: *faultTrunc,
+			ShuffleSlowRate:     *faultSlow,
+			SpillErrorRate:      *faultSpill,
+			MaxTaskAttempts:     *faultRetries,
+		}
 	}
 	if *sizeF != "" {
 		n, err := cliutil.ParseSize(*sizeF)
@@ -108,7 +133,7 @@ func runLocal(cfg microbench.Config) {
 		fatal(err)
 	}
 	start := time.Now()
-	res, err := localrun.Run(job, nil)
+	res, err := localrun.Run(job, &localrun.Options{Faults: cfg.Faults})
 	if err != nil {
 		fatal(err)
 	}
@@ -116,10 +141,36 @@ func runLocal(cfg microbench.Config) {
 	fmt.Printf("maps/reduces        %d / %d\n", res.NumMaps, res.NumReduces)
 	fmt.Printf("wall time           %v\n", time.Since(start).Round(time.Millisecond))
 	fmt.Printf("counters:\n%s", res.Counters)
+	if cfg.Faults != nil {
+		fmt.Print(metrics.RenderKV("injected faults survived:", faultKVs(res.Counters)))
+	}
+}
+
+// faultKVs flattens the fault counter group for the report.
+func faultKVs(c *mapreduce.Counters) []metrics.KV {
+	var out []metrics.KV
+	for _, name := range []string{
+		mapreduce.CtrMapAttemptsFailed,
+		mapreduce.CtrReduceAttemptsFailed,
+		mapreduce.CtrShuffleFetchFailures,
+		mapreduce.CtrShuffleFetchRetries,
+		mapreduce.CtrShuffleFetchesSlow,
+		mapreduce.CtrSpillTransientErrors,
+	} {
+		out = append(out, metrics.KV{Key: name, Value: c.Fault(name)})
+	}
+	return out
 }
 
 func pick(override, def int) int {
 	if override > 0 {
+		return override
+	}
+	return def
+}
+
+func pick64(override, def int64) int64 {
+	if override != 0 {
 		return override
 	}
 	return def

@@ -1,0 +1,103 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Backoff is a bounded, jittered exponential retry schedule: delay k is
+// Base*Multiplier^k, capped at Max, with a deterministic ±Jitter fraction
+// derived from the caller's seed so two runs sleep identically.
+type Backoff struct {
+	Base       time.Duration // first delay (default 2ms)
+	Max        time.Duration // per-delay cap (default 250ms)
+	Multiplier float64       // growth factor (default 2)
+	Jitter     float64       // ± fraction of each delay (default 0.2)
+	Attempts   int           // total attempts including the first (default 4)
+
+	// Sleep replaces time.Sleep, letting tests run schedules instantly.
+	Sleep func(time.Duration)
+}
+
+// WithDefaults fills zero fields with the stock schedule.
+func (b Backoff) WithDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 2 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 250 * time.Millisecond
+	}
+	if b.Multiplier <= 1 {
+		b.Multiplier = 2
+	}
+	if b.Jitter < 0 || b.Jitter >= 1 {
+		b.Jitter = 0.2
+	}
+	if b.Attempts <= 0 {
+		b.Attempts = 4
+	}
+	if b.Sleep == nil {
+		b.Sleep = time.Sleep
+	}
+	return b
+}
+
+// Delay returns the pause after failed attempt number `attempt` (0-based).
+// The jitter is a pure function of (seed, attempt): deterministic for a
+// fixed seed, decorrelated across callers with different seeds.
+func (b Backoff) Delay(attempt int, seed int64) time.Duration {
+	b = b.WithDefaults()
+	d := float64(b.Base)
+	for k := 0; k < attempt && d < float64(b.Max); k++ {
+		d *= b.Multiplier
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 {
+		u := Plan{Seed: seed}.roll(0x6261636b6f6666 /* "backoff" */, attempt, 0, 0)
+		d *= 1 + b.Jitter*(2*u-1)
+	}
+	return time.Duration(d)
+}
+
+// PermanentError wraps an error that must not be retried.
+type PermanentError struct{ Err error }
+
+// Error returns the wrapped message.
+func (e *PermanentError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the cause.
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+// Permanent marks err as non-retryable for Retry.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PermanentError{Err: err}
+}
+
+// Retry runs op until it succeeds, returns a permanent error, or the
+// attempt budget is spent. The final error is wrapped with the attempt
+// count so job-level failures read as exhausted retries, not hangs.
+func (b Backoff) Retry(seed int64, op func(attempt int) error) error {
+	b = b.WithDefaults()
+	var last error
+	for attempt := 0; attempt < b.Attempts; attempt++ {
+		err := op(attempt)
+		if err == nil {
+			return nil
+		}
+		var perm *PermanentError
+		if errors.As(err, &perm) {
+			return perm.Err
+		}
+		last = err
+		if attempt+1 < b.Attempts {
+			b.Sleep(b.Delay(attempt, seed))
+		}
+	}
+	return fmt.Errorf("after %d attempts: %w", b.Attempts, last)
+}

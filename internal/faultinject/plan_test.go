@@ -1,0 +1,135 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	var p Plan
+	if p.Enabled() {
+		t.Error("zero plan reports Enabled")
+	}
+	for idx := 0; idx < 50; idx++ {
+		for attempt := 0; attempt < 4; attempt++ {
+			if p.FailMap(idx, attempt) || p.FailReduce(idx, attempt) {
+				t.Fatalf("zero plan failed task %d attempt %d", idx, attempt)
+			}
+			if f := p.Fetch(idx, idx, attempt); f != FetchOK {
+				t.Fatalf("zero plan injected fetch fault %v", f)
+			}
+			if p.SpillError(idx, attempt, 0) {
+				t.Fatalf("zero plan injected spill error")
+			}
+		}
+	}
+}
+
+func TestDecisionsAreDeterministic(t *testing.T) {
+	a := Plan{Seed: 42, MapFailureRate: 0.3, ShuffleDropRate: 0.2, ShuffleTruncateRate: 0.2, SpillErrorRate: 0.1}
+	b := a
+	for idx := 0; idx < 100; idx++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			if a.FailMap(idx, attempt) != b.FailMap(idx, attempt) {
+				t.Fatal("FailMap nondeterministic")
+			}
+			if a.Fetch(idx, idx+1, attempt) != b.Fetch(idx, idx+1, attempt) {
+				t.Fatal("Fetch nondeterministic")
+			}
+			if a.SpillError(idx, attempt, 1) != b.SpillError(idx, attempt, 1) {
+				t.Fatal("SpillError nondeterministic")
+			}
+		}
+	}
+}
+
+func TestSeedChangesDecisions(t *testing.T) {
+	a := Plan{Seed: 1, MapFailureRate: 0.5}
+	b := Plan{Seed: 2, MapFailureRate: 0.5}
+	same := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		if a.FailMap(i, 0) == b.FailMap(i, 0) {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("different seeds produced identical fault sets")
+	}
+}
+
+func TestRatesApproximatelyRealized(t *testing.T) {
+	p := Plan{Seed: 7, MapFailureRate: 0.2}
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if p.FailMap(i, 0) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.17 || got > 0.23 {
+		t.Errorf("realized map failure rate %.3f, want ~0.2", got)
+	}
+}
+
+func TestDeterministicFailureCounts(t *testing.T) {
+	p := Plan{MapFailures: map[int]int{3: 2}, ReduceFailures: map[int]int{0: 1}}
+	if !p.FailMap(3, 0) || !p.FailMap(3, 1) {
+		t.Error("map 3 should fail attempts 0 and 1")
+	}
+	if p.FailMap(3, 2) {
+		t.Error("map 3 attempt 2 should succeed")
+	}
+	if p.FailMap(4, 0) {
+		t.Error("map 4 should never fail")
+	}
+	if !p.FailReduce(0, 0) || p.FailReduce(0, 1) {
+		t.Error("reduce 0 should fail exactly once")
+	}
+}
+
+func TestFetchFaultClassesCompose(t *testing.T) {
+	p := Plan{Seed: 11, ShuffleDropRate: 0.25, ShuffleTruncateRate: 0.25, ShuffleSlowRate: 0.25}
+	counts := map[FetchFault]int{}
+	const n = 8000
+	for i := 0; i < n; i++ {
+		counts[p.Fetch(i, i%7, 0)]++
+	}
+	for _, f := range []FetchFault{FetchOK, FetchDrop, FetchTruncate, FetchSlow} {
+		got := float64(counts[f]) / n
+		if got < 0.20 || got > 0.30 {
+			t.Errorf("fault class %v realized at %.3f, want ~0.25", f, got)
+		}
+	}
+}
+
+func TestErrInjectedIdentity(t *testing.T) {
+	err := Errorf("map %d attempt %d aborted", 3, 1)
+	if !errors.Is(err, ErrInjected) {
+		t.Error("Errorf result does not wrap ErrInjected")
+	}
+	if want := "map 3 attempt 1 aborted: faultinject: injected fault"; err.Error() != want {
+		t.Errorf("error = %q, want %q", err, want)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *Plan
+		want bool
+	}{
+		{"nil", nil, false},
+		{"zero", &Plan{}, false},
+		{"seed-only", &Plan{Seed: 9}, false},
+		{"map-rate", &Plan{MapFailureRate: 0.1}, true},
+		{"fetch-rate", &Plan{ShuffleTruncateRate: 0.1}, true},
+		{"counts", &Plan{ReduceFailures: map[int]int{0: 1}}, true},
+	}
+	for _, c := range cases {
+		if got := c.plan.Enabled(); got != c.want {
+			t.Errorf("%s: Enabled = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

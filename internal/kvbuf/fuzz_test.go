@@ -1,0 +1,92 @@
+package kvbuf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedSegment builds a small valid IFile stream for the seed corpus.
+func fuzzSeedSegment() []byte {
+	w := NewWriter(64)
+	w.Append([]byte("alpha"), []byte("1"))
+	w.Append([]byte("beta"), bytes.Repeat([]byte("v"), 40))
+	w.Append([]byte(""), []byte("")) // empty key and value are legal
+	return w.Close().Bytes()
+}
+
+// FuzzIFileReader feeds arbitrary bytes through the IFile segment decoder:
+// Verify() and a full Next() iteration must reject truncated or corrupt
+// input with an error, never a panic or runaway allocation. The committed
+// seed corpus (valid, truncated, bit-flipped, trailing-junk, empty) also
+// runs as a regression test under plain `go test`.
+func FuzzIFileReader(f *testing.F) {
+	valid := fuzzSeedSegment()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])              // truncated inside the CRC trailer
+	f.Add(valid[:len(valid)/2])              // truncated mid-record
+	f.Add(append([]byte{0x85, 0x01}, 'x'))   // negative vint key length
+	f.Add(append(bytes.Clone(valid), 0, 0))  // trailing junk after the trailer
+	f.Add([]byte{})                          // empty stream
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})    // bare garbage
+	flipped := bytes.Clone(valid)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seg := SegmentFromBytes(data)
+		verifyErr := seg.Verify()
+
+		r := seg.NewReader()
+		var readErr error
+		records := 0
+		for {
+			_, _, ok, err := r.Next()
+			if err != nil {
+				readErr = err
+				break
+			}
+			if !ok {
+				break
+			}
+			records++
+			if records > len(data) {
+				t.Fatalf("decoded %d records from %d bytes: reader not consuming input", records, len(data))
+			}
+		}
+		if r.RecordsRead() != records {
+			t.Errorf("RecordsRead() = %d, iterated %d", r.RecordsRead(), records)
+		}
+		// A stream that reads cleanly to its EOF marker has a valid CRC over
+		// the prefix the reader consumed; whole-segment Verify may still
+		// reject trailing junk, but the reverse implication must hold: a
+		// Verify-clean segment that is exactly the written stream never
+		// produces a read error. We can only assert that cheaply for the
+		// canonical seed shape, so the invariant checked for arbitrary input
+		// is the absence of panics above.
+		_ = verifyErr
+		_ = readErr
+	})
+}
+
+// TestVerifyMatchesReaderOnCleanStreams pins the relationship the fuzz
+// target cannot assert for arbitrary bytes: for exact writer output, both
+// validation paths agree.
+func TestVerifyMatchesReaderOnCleanStreams(t *testing.T) {
+	seg := SegmentFromBytes(fuzzSeedSegment())
+	if err := seg.Verify(); err != nil {
+		t.Fatalf("Verify on clean stream: %v", err)
+	}
+	r := seg.NewReader()
+	for {
+		_, _, ok, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next on clean stream: %v", err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if r.RecordsRead() != 3 {
+		t.Errorf("records = %d, want 3", r.RecordsRead())
+	}
+}

@@ -158,3 +158,29 @@ func (r *Reader) verify() error {
 
 // RecordsRead returns how many records Next has yielded.
 func (r *Reader) RecordsRead() int { return r.records }
+
+// Verify checks the segment's CRC32 trailer without parsing records: the
+// last four bytes must be the Castagnoli checksum of everything before
+// them. Shuffle clients call it on received payloads so a truncated or
+// corrupted transfer is rejected at fetch time (and can be retried) instead
+// of surfacing later as a merge error. Compressed segments are verified
+// after decompression.
+func (s *Segment) Verify() error {
+	if s.compressed {
+		d, err := s.Decompress()
+		if err != nil {
+			return err
+		}
+		return d.Verify()
+	}
+	if len(s.data) < 4 {
+		return fmt.Errorf("kvbuf: segment of %d bytes cannot hold a checksum trailer", len(s.data))
+	}
+	body := s.data[:len(s.data)-4]
+	want := int32(uint32(s.data[len(s.data)-4])<<24 | uint32(s.data[len(s.data)-3])<<16 |
+		uint32(s.data[len(s.data)-2])<<8 | uint32(s.data[len(s.data)-1]))
+	if got := int32(crc32.Checksum(body, castagnoli)); got != want {
+		return fmt.Errorf("kvbuf: segment checksum mismatch: %08x != %08x", uint32(got), uint32(want))
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"mrmicro/internal/faultinject"
 	"mrmicro/internal/kvbuf"
 	"mrmicro/internal/mapreduce"
 	"mrmicro/internal/writable"
@@ -17,6 +18,32 @@ type Options struct {
 	// (default: GOMAXPROCS).
 	MapParallelism    int
 	ReduceParallelism int
+
+	// Faults enables seeded, deterministic fault injection (nil: nothing
+	// injected). The recovery machinery — bounded task re-execution and
+	// shuffle-fetch retry with backoff — is the same code that guards
+	// against organic failures.
+	Faults *faultinject.Plan
+
+	// FetchBackoff tunes the shuffle-fetch retry schedule; zero fields
+	// take the faultinject defaults (4 attempts, 2ms base, 2x growth,
+	// ±20% jitter).
+	FetchBackoff faultinject.Backoff
+
+	// MaxTaskAttempts bounds map/reduce task execution. Zero picks 1 for
+	// clean runs (a deterministic user-code error should surface, not
+	// re-execute) and Faults.TaskAttempts() when fault injection is on.
+	MaxTaskAttempts int
+}
+
+func (o *Options) taskAttempts() int {
+	if o.MaxTaskAttempts > 0 {
+		return o.MaxTaskAttempts
+	}
+	if o.Faults.Enabled() {
+		return o.Faults.TaskAttempts()
+	}
+	return 1
 }
 
 // Result summarizes a completed job.
@@ -91,10 +118,13 @@ func Run(job *mapreduce.Job, opts *Options) (*Result, error) {
 	}
 	defer server.Close()
 
+	jobID := mapreduce.JobID{Seq: 1}
+	attempts := opts.taskAttempts()
+
 	// Map phase.
 	mapCtrs := make([]*mapreduce.Counters, len(splits))
 	err = parallelFor(len(splits), opts.MapParallelism, func(i int) error {
-		c, err := runMapTask(job, i, splits[i], cmp, numReduces, server)
+		c, err := runMapWithRetry(job, jobID, i, splits[i], cmp, numReduces, server, opts.Faults, attempts)
 		mapCtrs[i] = c
 		return err
 	})
@@ -108,7 +138,7 @@ func Run(job *mapreduce.Job, opts *Options) (*Result, error) {
 	// Reduce phase (shuffle + sort + reduce per task).
 	redCtrs := make([]*mapreduce.Counters, numReduces)
 	err = parallelFor(numReduces, opts.ReduceParallelism, func(r int) error {
-		c, err := runReduceTask(job, r, len(splits), server.Addr(), cmp)
+		c, err := runReduceWithRetry(job, jobID, r, len(splits), server.Addr(), cmp, opts, attempts)
 		redCtrs[r] = c
 		return err
 	})
@@ -165,6 +195,48 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 	return first
 }
 
+// runMapWithRetry executes map task idx, re-executing failed attempts with
+// fresh attempt IDs up to the bound (Hadoop's mapreduce.map.maxattempts).
+// Each attempt gets fresh task counters — only the winning attempt's work
+// counts, as in Hadoop — while fault counters accumulate across attempts so
+// the job report shows what the executor survived.
+func runMapWithRetry(job *mapreduce.Job, jobID mapreduce.JobID, idx int, split mapreduce.InputSplit, cmp writable.RawComparator, numReduces int, server *shuffleServer, plan *faultinject.Plan, attempts int) (*mapreduce.Counters, error) {
+	faultCtrs := mapreduce.NewCounters()
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		aid := mapreduce.MapAttempt(jobID, idx, attempt)
+		c, err := runMapTask(job, aid, split, cmp, numReduces, server, plan, faultCtrs)
+		if err == nil {
+			c.Merge(faultCtrs)
+			return c, nil
+		}
+		lastErr = err
+		faultCtrs.IncrFault(mapreduce.CtrMapAttemptsFailed, 1)
+	}
+	return faultCtrs, fmt.Errorf("localrun: map %d failed after %d attempts: %w", idx, attempts, lastErr)
+}
+
+// runReduceWithRetry is runMapWithRetry's reduce-side twin.
+func runReduceWithRetry(job *mapreduce.Job, jobID mapreduce.JobID, r, numMaps int, serverAddr string, cmp writable.RawComparator, opts *Options, attempts int) (*mapreduce.Counters, error) {
+	bo := opts.FetchBackoff
+	if bo.Attempts == 0 && opts.Faults != nil {
+		bo.Attempts = opts.Faults.FetchAttempts()
+	}
+	faultCtrs := mapreduce.NewCounters()
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		aid := mapreduce.ReduceAttempt(jobID, r, attempt)
+		c, err := runReduceTask(job, aid, numMaps, serverAddr, cmp, opts.Faults, bo, faultCtrs)
+		if err == nil {
+			c.Merge(faultCtrs)
+			return c, nil
+		}
+		lastErr = err
+		faultCtrs.IncrFault(mapreduce.CtrReduceAttemptsFailed, 1)
+	}
+	return faultCtrs, fmt.Errorf("localrun: reduce %d failed after %d attempts: %w", r, attempts, lastErr)
+}
+
 // mapCollector routes mapper output into the sort buffer, spilling as the
 // buffer fills.
 type mapCollector struct {
@@ -176,6 +248,13 @@ type mapCollector struct {
 	ctrs       *mapreduce.Counters
 	spills     [][]*kvbuf.Segment
 	enc        *writable.DataOutput
+
+	// Fault plumbing: aid names the running attempt, plan injects spill
+	// errors, faultCtrs outlives failed attempts.
+	aid       mapreduce.TaskAttemptID
+	plan      *faultinject.Plan
+	faultCtrs *mapreduce.Counters
+	spillSeq  int
 }
 
 func (mc *mapCollector) Collect(key, value writable.Writable) error {
@@ -215,6 +294,14 @@ func (mc *mapCollector) spill() error {
 	if records == 0 {
 		return nil
 	}
+	seq := mc.spillSeq
+	mc.spillSeq++
+	if mc.plan != nil && mc.plan.SpillError(mc.aid.Task.Index, mc.aid.Attempt, seq) {
+		// A transient I/O error in the spill path kills the attempt; the
+		// re-executed attempt rolls fresh spill decisions.
+		mc.faultCtrs.IncrFault(mapreduce.CtrSpillTransientErrors, 1)
+		return faultinject.Errorf("localrun: %s spill %d: transient write error", mc.aid, seq)
+	}
 	segs, _ := mc.buf.Spill()
 	if mc.job.Combiner != nil {
 		for p, seg := range segs {
@@ -233,7 +320,8 @@ func (mc *mapCollector) spill() error {
 	return nil
 }
 
-func runMapTask(job *mapreduce.Job, idx int, split mapreduce.InputSplit, cmp writable.RawComparator, numReduces int, server *shuffleServer) (*mapreduce.Counters, error) {
+func runMapTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, split mapreduce.InputSplit, cmp writable.RawComparator, numReduces int, server *shuffleServer, plan *faultinject.Plan, faultCtrs *mapreduce.Counters) (*mapreduce.Counters, error) {
+	idx := aid.Task.Index
 	ctrs := mapreduce.NewCounters()
 	rep := &mapreduce.CountersReporter{C: ctrs}
 	reader, err := job.Input.Reader(split, job.Conf)
@@ -244,6 +332,8 @@ func runMapTask(job *mapreduce.Job, idx int, split mapreduce.InputSplit, cmp wri
 
 	part := job.Partitioner
 	if job.PartitionerForTask != nil {
+		// Seeded per task, not per attempt: a re-executed attempt emits the
+		// same records, so recovery cannot change the job's output.
 		part = func() mapreduce.Partitioner { return job.PartitionerForTask(idx) }
 	}
 	mc := &mapCollector{
@@ -254,6 +344,9 @@ func runMapTask(job *mapreduce.Job, idx int, split mapreduce.InputSplit, cmp wri
 		spillPct:   job.Conf.SortSpillPercent(),
 		ctrs:       ctrs,
 		enc:        writable.NewDataOutput(256),
+		aid:        aid,
+		plan:       plan,
+		faultCtrs:  faultCtrs,
 	}
 	mapper := job.Mapper()
 	for {
@@ -284,10 +377,22 @@ func runMapTask(job *mapreduce.Job, idx int, split mapreduce.InputSplit, cmp wri
 		mc.spills = append(mc.spills, empty)
 	}
 
+	// An injected attempt failure strikes during shuffle registration: the
+	// attempt dies with only part of its partitions published, and the
+	// re-executed attempt must overwrite them (Hadoop's re-run of a failed
+	// map re-serves its output the same way).
+	abortAt := -1
+	if plan != nil && plan.FailMap(idx, aid.Attempt) {
+		abortAt = numReduces / 2
+	}
+
 	// Merge spills per partition into the final map output, compressing it
 	// when mapreduce.map.output.compress is set.
 	compress := job.Conf.GetBool(mapreduce.ConfCompressMapOut, false)
 	for p := 0; p < numReduces; p++ {
+		if p == abortAt {
+			return ctrs, faultinject.Errorf("localrun: %s aborted during shuffle registration (%d/%d partitions published)", aid, p, numReduces)
+		}
 		var final *kvbuf.Segment
 		if len(mc.spills) == 1 {
 			final = mc.spills[0][p]
@@ -309,7 +414,9 @@ func runMapTask(job *mapreduce.Job, idx int, split mapreduce.InputSplit, cmp wri
 			}
 			final = z
 		}
-		server.Register(idx, p, final)
+		if err := server.Register(idx, p, final); err != nil {
+			return ctrs, fmt.Errorf("localrun: %s: %w", aid, err)
+		}
 	}
 	return ctrs, nil
 }
@@ -403,37 +510,48 @@ func (it *valueIter) Next() (writable.Writable, bool) {
 	return it.inst, true
 }
 
-func runReduceTask(job *mapreduce.Job, r, numMaps int, serverAddr string, cmp writable.RawComparator) (*mapreduce.Counters, error) {
+func runReduceTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, numMaps int, serverAddr string, cmp writable.RawComparator, plan *faultinject.Plan, bo faultinject.Backoff, faultCtrs *mapreduce.Counters) (*mapreduce.Counters, error) {
+	r := aid.Task.Index
 	ctrs := mapreduce.NewCounters()
 	rep := &mapreduce.CountersReporter{C: ctrs}
 
 	// Shuffle: fetch this partition's segment from every map, with
-	// parallelcopies concurrent fetchers.
+	// parallelcopies concurrent fetchers. Each fetch verifies the IFile
+	// checksum and retries transient failures with backoff.
 	segs := make([]*kvbuf.Segment, numMaps)
 	var mu sync.Mutex
 	compressed := job.Conf.GetBool(mapreduce.ConfCompressMapOut, false)
 	err := parallelFor(numMaps, job.Conf.ParallelCopies(), func(m int) error {
-		seg, err := fetchSegment(serverAddr, m, r)
-		if err != nil {
-			return err
-		}
-		wireLen := int64(seg.Len())
-		if compressed {
-			// Shuffle moves compressed bytes; the reducer inflates them.
-			seg = kvbuf.CompressedSegmentFromBytes(seg.Bytes())
-			if seg, err = seg.Decompress(); err != nil {
-				return fmt.Errorf("localrun: reduce %d map %d: %w", r, m, err)
-			}
-		}
+		var st fetchStats
+		seg, wireLen, err := fetchValidated(serverAddr, m, r, compressed, plan, bo, &st)
 		mu.Lock()
-		segs[m] = seg
-		ctrs.IncrTask(mapreduce.CtrShuffledMaps, 1)
-		ctrs.IncrTask(mapreduce.CtrReduceShuffleBytes, wireLen)
+		// Skip zero increments so clean runs don't grow an all-zero
+		// FaultCounter group in their counter dump.
+		if st.failures > 0 {
+			faultCtrs.IncrFault(mapreduce.CtrShuffleFetchFailures, st.failures)
+		}
+		if st.retries > 0 {
+			faultCtrs.IncrFault(mapreduce.CtrShuffleFetchRetries, st.retries)
+		}
+		if st.slow > 0 {
+			faultCtrs.IncrFault(mapreduce.CtrShuffleFetchesSlow, st.slow)
+		}
+		if err == nil {
+			segs[m] = seg
+			ctrs.IncrTask(mapreduce.CtrShuffledMaps, 1)
+			ctrs.IncrTask(mapreduce.CtrReduceShuffleBytes, wireLen)
+		}
 		mu.Unlock()
-		return nil
+		return err
 	})
 	if err != nil {
 		return ctrs, fmt.Errorf("localrun: reduce %d shuffle: %w", r, err)
+	}
+
+	if plan != nil && plan.FailReduce(r, aid.Attempt) {
+		// The injected attempt failure strikes after the copy phase: all
+		// shuffle work is wasted, the re-executed attempt re-fetches.
+		return ctrs, faultinject.Errorf("localrun: %s aborted after shuffle", aid)
 	}
 
 	// Sort: merge all map segments.

@@ -7,13 +7,20 @@ package localrun
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
+	"mrmicro/internal/faultinject"
 	"mrmicro/internal/kvbuf"
 )
+
+// ErrServerClosed is returned by Register once the shuffle server has shut
+// down: a late map attempt must not publish output nobody can fetch.
+var ErrServerClosed = errors.New("localrun: shuffle server closed")
 
 // shuffleServer serves completed map-output partitions over TCP.
 //
@@ -43,11 +50,17 @@ func newShuffleServer() (*shuffleServer, error) {
 // Addr returns the server's dialable address.
 func (s *shuffleServer) Addr() string { return s.ln.Addr().String() }
 
-// Register publishes a map task's output for one partition.
-func (s *shuffleServer) Register(mapIdx, partition int, seg *kvbuf.Segment) {
+// Register publishes a map task's output for one partition. Re-executed
+// map attempts re-register their partitions; the newest registration wins.
+// Registering on a closed server is an error, never a silent mutation.
+func (s *shuffleServer) Register(mapIdx, partition int, seg *kvbuf.Segment) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("%w: cannot register map %d partition %d", ErrServerClosed, mapIdx, partition)
+	}
 	s.segments[[2]int{mapIdx, partition}] = seg
+	return nil
 }
 
 func (s *shuffleServer) lookup(mapIdx, partition int) (*kvbuf.Segment, bool) {
@@ -129,7 +142,9 @@ func fetchSegment(addr string, mapIdx, partition int) (*kvbuf.Segment, error) {
 		return nil, fmt.Errorf("localrun: shuffle status: %w", err)
 	}
 	if status[0] != 0 {
-		return nil, fmt.Errorf("localrun: map %d partition %d not found on server", mapIdx, partition)
+		// The map phase completed before any reducer started, so a missing
+		// segment will never appear: fail fast instead of retrying.
+		return nil, faultinject.Permanent(fmt.Errorf("localrun: map %d partition %d not found on server", mapIdx, partition))
 	}
 	var lenBuf [8]byte
 	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
@@ -141,4 +156,69 @@ func fetchSegment(addr string, mapIdx, partition int) (*kvbuf.Segment, error) {
 		return nil, fmt.Errorf("localrun: shuffle payload: %w", err)
 	}
 	return kvbuf.SegmentFromBytes(data), nil
+}
+
+// fetchStats tallies recovery events of one segment fetch; the reduce task
+// folds them into its fault counters.
+type fetchStats struct {
+	failures int64 // fetch attempts that failed (dropped, truncated, corrupt)
+	retries  int64 // attempts beyond the first
+	slow     int64 // injected slow-peer fetches
+}
+
+// fetchValidated retrieves one map-output partition, verifies its IFile
+// checksum trailer, inflates it when the shuffle is compressed, and retries
+// transient failures with jittered exponential backoff. Injected faults
+// (dropped connections, truncated payloads, slow peers) enter here — the
+// same code path that recovers from a genuinely flaky peer. wireLen is the
+// payload size moved on the wire for the successful attempt.
+func fetchValidated(addr string, mapIdx, reduce int, compressed bool, plan *faultinject.Plan, bo faultinject.Backoff, st *fetchStats) (seg *kvbuf.Segment, wireLen int64, err error) {
+	var seed int64
+	if plan != nil {
+		seed = plan.Seed
+	}
+	seed ^= int64(mapIdx)*1000003 + int64(reduce)
+	err = bo.Retry(seed, func(attempt int) error {
+		if attempt > 0 {
+			st.retries++
+		}
+		fault := faultinject.FetchOK
+		if plan != nil {
+			fault = plan.Fetch(reduce, mapIdx, attempt)
+		}
+		switch fault {
+		case faultinject.FetchDrop:
+			st.failures++
+			return faultinject.Errorf("localrun: shuffle map %d -> reduce %d attempt %d: connection dropped", mapIdx, reduce, attempt)
+		case faultinject.FetchSlow:
+			st.slow++
+			time.Sleep(plan.Slowness())
+		}
+		raw, ferr := fetchSegment(addr, mapIdx, reduce)
+		if ferr != nil {
+			st.failures++
+			return ferr
+		}
+		data := raw.Bytes()
+		if fault == faultinject.FetchTruncate && len(data) > 0 {
+			data = data[:len(data)-(1+len(data)/16)]
+		}
+		s := kvbuf.SegmentFromBytes(data)
+		if compressed {
+			if s, ferr = kvbuf.CompressedSegmentFromBytes(data).Decompress(); ferr != nil {
+				st.failures++
+				return fmt.Errorf("localrun: shuffle map %d -> reduce %d: %w", mapIdx, reduce, ferr)
+			}
+		}
+		if verr := s.Verify(); verr != nil {
+			st.failures++
+			return fmt.Errorf("localrun: shuffle map %d -> reduce %d: %w", mapIdx, reduce, verr)
+		}
+		seg, wireLen = s, int64(len(data))
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return seg, wireLen, nil
 }

@@ -24,6 +24,20 @@ const (
 	CtrMergedMapOutputs    = "MERGED_MAP_OUTPUTS"
 )
 
+// Fault counter group and names: what the executor survived. Populated by
+// localrun's recovery machinery (and fault injection) so degraded runs are
+// diagnosable from the job report alone.
+const (
+	CounterGroupFault = "mrmicro.FaultCounter"
+
+	CtrMapAttemptsFailed    = "MAP_ATTEMPTS_FAILED"
+	CtrReduceAttemptsFailed = "REDUCE_ATTEMPTS_FAILED"
+	CtrShuffleFetchFailures = "SHUFFLE_FETCH_FAILURES"
+	CtrShuffleFetchRetries  = "SHUFFLE_FETCH_RETRIES"
+	CtrShuffleFetchesSlow   = "SHUFFLE_FETCHES_SLOW"
+	CtrSpillTransientErrors = "SPILL_TRANSIENT_ERRORS"
+)
+
 // Counters is a two-level named counter set. It is not safe for concurrent
 // use; each task keeps its own and the engine merges on completion (as
 // Hadoop does via task umbilical updates).
@@ -54,6 +68,12 @@ func (c *Counters) Task(name string) int64 { return c.Get(CounterGroupTask, name
 
 // IncrTask adds to a standard task counter.
 func (c *Counters) IncrTask(name string, amount int64) { c.Incr(CounterGroupTask, name, amount) }
+
+// Fault returns the fault-counter value for name.
+func (c *Counters) Fault(name string) int64 { return c.Get(CounterGroupFault, name) }
+
+// IncrFault adds to a fault counter.
+func (c *Counters) IncrFault(name string, amount int64) { c.Incr(CounterGroupFault, name, amount) }
 
 // Merge folds other into c.
 func (c *Counters) Merge(other *Counters) {

@@ -51,6 +51,23 @@ func (a TaskAttemptID) String() string {
 	return fmt.Sprintf("attempt_%04d_%s_%06d_%d", a.Task.Job.Seq, a.Task.Type, a.Task.Index, a.Attempt)
 }
 
+// Next returns the identifier of the task's following attempt (how an
+// engine numbers the re-execution of a failed attempt).
+func (a TaskAttemptID) Next() TaskAttemptID {
+	a.Attempt++
+	return a
+}
+
+// MapAttempt builds a map-task attempt ID.
+func MapAttempt(job JobID, index, attempt int) TaskAttemptID {
+	return TaskAttemptID{Task: TaskID{Job: job, Type: TaskMap, Index: index}, Attempt: attempt}
+}
+
+// ReduceAttempt builds a reduce-task attempt ID.
+func ReduceAttempt(job JobID, index, attempt int) TaskAttemptID {
+	return TaskAttemptID{Task: TaskID{Job: job, Type: TaskReduce, Index: index}, Attempt: attempt}
+}
+
 // Phase labels a job's internal phases for timing breakdowns.
 type Phase int
 

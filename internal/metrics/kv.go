@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// KV is one labelled value in a flat report block (a counter, a config echo
+// line, a summary stat).
+type KV struct {
+	Key   string
+	Value interface{}
+}
+
+// RenderKV draws labelled values as an aligned two-column block, the style
+// Hadoop's job client uses for its end-of-job counter dump:
+//
+//	title
+//	  SHUFFLE_FETCH_FAILURES   7
+//	  SHUFFLE_FETCH_RETRIES    7
+//
+// An empty title omits the header line. Order is preserved; callers sort if
+// they want sorted output.
+func RenderKV(title string, pairs []KV) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	w := 0
+	for _, p := range pairs {
+		if len(p.Key) > w {
+			w = len(p.Key)
+		}
+	}
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "  %-*s  %v\n", w, p.Key, p.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderKVAlignsColumns(t *testing.T) {
+	got := RenderKV("faults", []KV{
+		{"MAP_ATTEMPTS_FAILED", int64(3)},
+		{"RETRIES", 12},
+		{"PEER", "127.0.0.1:9"},
+	})
+	want := "faults\n" +
+		"  MAP_ATTEMPTS_FAILED  3\n" +
+		"  RETRIES              12\n" +
+		"  PEER                 127.0.0.1:9\n"
+	if got != want {
+		t.Errorf("RenderKV:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestRenderKVNoTitle(t *testing.T) {
+	got := RenderKV("", []KV{{"a", 1}})
+	if strings.HasPrefix(got, "\n") {
+		t.Errorf("empty title left a blank header line: %q", got)
+	}
+	if got != "  a  1\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRenderKVEmpty(t *testing.T) {
+	if got := RenderKV("t", nil); got != "t\n" {
+		t.Errorf("got %q", got)
+	}
+}

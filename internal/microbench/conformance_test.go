@@ -1,0 +1,109 @@
+package microbench
+
+import (
+	"testing"
+
+	"mrmicro/internal/localrun"
+	"mrmicro/internal/mapreduce"
+)
+
+// TestCrossEngineConformance drives the SAME job specification through both
+// execution paths — the real localrun executor (actual records, actual TCP
+// shuffle) and the resolved JobSpec the simulated engines consume — and
+// asserts the per-reduce record distributions agree exactly. BuildSpec and
+// BuildJob both seed the pattern partitioner with cfg.Seed + mapTask*7919,
+// so below the sampling threshold any divergence is a conformance bug, not
+// noise.
+func TestCrossEngineConformance(t *testing.T) {
+	for _, pattern := range []Pattern{MRAvg, MRRand, MRSkew} {
+		for _, seed := range []int64{1, 42} {
+			pattern, seed := pattern, seed
+			t.Run(string(pattern)+"/seed="+string(rune('0'+seed%10)), func(t *testing.T) {
+				t.Parallel()
+				cfg := Config{
+					Pattern:     pattern,
+					NumMaps:     4,
+					NumReduces:  3,
+					PairsPerMap: 2000,
+					KeySize:     32,
+					ValueSize:   32,
+					Seed:        seed,
+					Slaves:      2,
+				}
+
+				spec, err := BuildSpec(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				job, err := BuildJob(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := localrun.Run(job, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if len(res.PerReduceRecords) != cfg.NumReduces {
+					t.Fatalf("localrun reported %d reduce distributions, want %d", len(res.PerReduceRecords), cfg.NumReduces)
+				}
+				var specTotal int64
+				for r := 0; r < cfg.NumReduces; r++ {
+					want := spec.ReduceRecords(r)
+					specTotal += want
+					if got := res.PerReduceRecords[r]; got != want {
+						t.Errorf("%s reduce %d: localrun received %d records, spec says %d", pattern, r, got, want)
+					}
+				}
+				if wantTotal := cfg.PairsPerMap * int64(cfg.NumMaps); specTotal != wantTotal {
+					t.Errorf("spec total records = %d, want %d", specTotal, wantTotal)
+				}
+			})
+		}
+	}
+}
+
+// TestSimEngineCounterConservation runs the resolved spec through the full
+// simulated MRv1 and YARN engines and checks the record/byte conservation
+// laws both must share with the real executor.
+func TestSimEngineCounterConservation(t *testing.T) {
+	for _, engine := range []Engine{EngineMRv1, EngineYARN} {
+		engine := engine
+		t.Run(string(engine), func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{
+				Pattern:     MRSkew,
+				Engine:      engine,
+				NumMaps:     4,
+				NumReduces:  3,
+				PairsPerMap: 2000,
+				KeySize:     32,
+				ValueSize:   32,
+				Seed:        42,
+				Slaves:      2,
+			}
+			spec, err := BuildSpec(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := res.Report.Counters
+			total := cfg.PairsPerMap * int64(cfg.NumMaps)
+			if got := c.Task(mapreduce.CtrMapOutputRecords); got != total {
+				t.Errorf("sim map output records = %d, want %d", got, total)
+			}
+			if got := c.Task(mapreduce.CtrReduceInputRecords); got != total {
+				t.Errorf("sim reduce input records = %d, want %d", got, total)
+			}
+			if got := c.Task(mapreduce.CtrShuffledMaps); got != int64(cfg.NumMaps*cfg.NumReduces) {
+				t.Errorf("sim shuffled maps = %d, want %d", got, cfg.NumMaps*cfg.NumReduces)
+			}
+			if res.ShuffleBytes != spec.TotalShuffleBytes() {
+				t.Errorf("sim shuffle bytes = %d, spec says %d", res.ShuffleBytes, spec.TotalShuffleBytes())
+			}
+		})
+	}
+}

@@ -52,6 +52,9 @@ func BuildSpec(cfg Config) (*mrsim.JobSpec, error) {
 		Partitions: parts,
 		TypeFactor: typeFactor,
 	}
+	if cfg.Faults != nil {
+		spec.Plan = *cfg.Faults
+	}
 	return spec, nil
 }
 

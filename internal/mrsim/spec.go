@@ -17,6 +17,7 @@ package mrsim
 import (
 	"fmt"
 
+	"mrmicro/internal/faultinject"
 	"mrmicro/internal/mapreduce"
 	"mrmicro/internal/sim"
 )
@@ -45,18 +46,14 @@ type JobSpec struct {
 	// stock Hadoop TCP shuffle (StockShuffle).
 	Shuffle ShufflePlugin
 
-	// MapFailures / ReduceFailures inject faults: task index -> number of
-	// attempts that die (with partial work charged) before one succeeds.
-	// Schedulers re-queue failed attempts, as Hadoop does.
-	MapFailures    map[int]int
-	ReduceFailures map[int]int
+	// Plan is the shared fault specification: the same type localrun's real
+	// executor consumes, so one fault config drives both the simulated and
+	// the real engines. Promoted fields keep the historical spelling
+	// (spec.MapFailures = ... : task index -> attempts that die before one
+	// succeeds) working; rates add seeded probabilistic failures. Schedulers
+	// re-queue failed attempts, as Hadoop does.
+	faultinject.Plan
 }
-
-// FailMap reports whether map idx's given attempt (0-based) should fail.
-func (s *JobSpec) FailMap(idx, attempt int) bool { return attempt < s.MapFailures[idx] }
-
-// FailReduce reports whether reduce idx's given attempt should fail.
-func (s *JobSpec) FailReduce(idx, attempt int) bool { return attempt < s.ReduceFailures[idx] }
 
 // Validate checks internal consistency.
 func (s *JobSpec) Validate() error {

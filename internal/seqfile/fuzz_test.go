@@ -1,0 +1,85 @@
+package seqfile
+
+import (
+	"bytes"
+	"testing"
+
+	"mrmicro/internal/writable"
+)
+
+// fuzzSeedFile writes a small valid SequenceFile for the seed corpus.
+func fuzzSeedFile(tb testing.TB) []byte {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "Text", "LongWritable")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Append(writable.NewText("key"), &writable.LongWritable{Value: int64(i)}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzSeqFileReader feeds arbitrary bytes through the SequenceFile header
+// parser and record iterator. Corrupt or truncated input — including hostile
+// length fields in the header metadata and record framing — must surface as
+// an error, never a panic or an unbounded allocation.
+func FuzzSeqFileReader(f *testing.F) {
+	valid := fuzzSeedFile(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])          // truncated mid-record
+	f.Add(valid[:20])                    // truncated inside the header
+	f.Add([]byte("SEQ\x06"))             // magic only
+	f.Add([]byte("NOPE"))                // wrong magic
+	f.Add([]byte{})                      // empty
+	hostile := bytes.Clone(valid)
+	hostile[len(hostile)-9] = 0x7f       // blow up a record length field
+	f.Add(hostile)
+	meta := bytes.Clone(valid)
+	meta[len("SEQx")+2+len("Text")+2+len("LongWritable")+2] = 0xff // metadata count
+	f.Add(meta)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejected at the header: fine
+		}
+		records := 0
+		for {
+			_, _, ok, err := r.Next()
+			if err != nil || !ok {
+				return
+			}
+			records++
+			if records > len(data) {
+				t.Fatalf("decoded %d records from %d bytes: reader not consuming input", records, len(data))
+			}
+		}
+	})
+}
+
+// TestReaderRejectsHostileMetadataLength pins the bounds check on the
+// metadata Text vlong (a corrupt length must not drive the allocation).
+func TestReaderRejectsHostileMetadataLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("SEQ\x06")
+	buf.Write([]byte{0, 4}) // key class
+	buf.WriteString("Text")
+	buf.Write([]byte{0, 4}) // value class
+	buf.WriteString("Text")
+	buf.Write([]byte{0, 0})          // not compressed
+	buf.Write([]byte{0, 0, 0, 1})    // one metadata entry
+	buf.Write([]byte{0x8c, 0x7f, 0xff, 0xff, 0xff, 0xff}) // vlong ~2^39 text length
+	_, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("hostile metadata length accepted")
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("implausible")) {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

@@ -289,6 +289,9 @@ func readTextFrom(r *bufio.Reader, t *writable.Text) error {
 	if err != nil {
 		return err
 	}
+	if n < 0 || n > MaxRecordLen {
+		return fmt.Errorf("seqfile: implausible metadata text length %d", n)
+	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return err
