@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +49,8 @@ func main() {
 		tasklog  = flag.Bool("tasklog", false, "print the per-task-attempt timeline (Gantt)")
 		traceF   = flag.String("trace", "", "write a Chrome trace-event JSON of the job to this file")
 		local    = flag.Bool("local", false, "execute for real in-process (small scale) instead of simulating")
+		copiesF  = flag.Int("parallelcopies", 0, "concurrent shuffle fetch connections per reduce task (default 5, Hadoop's mapreduce.reduce.shuffle.parallelcopies)")
+		benchF   = flag.String("bench-json", "", "write machine-readable local-execution throughput results to this file (implies -local)")
 
 		faultSeed    = flag.Int64("fault-seed", 0, "seed for injected faults (default: -seed)")
 		faultMap     = flag.Float64("fault-map-rate", 0, "probability a map attempt dies mid-shuffle-registration")
@@ -61,19 +64,20 @@ func main() {
 	flag.Parse()
 
 	cfg := microbench.Config{
-		Pattern:     microbench.Pattern(*pattern),
-		Network:     *network,
-		Cluster:     microbench.ClusterID(*clusterF),
-		Engine:      microbench.Engine(*engine),
-		Slaves:      *slaves,
-		NumMaps:     *maps,
-		NumReduces:  *reduces,
-		KeySize:     pick(*keySize, *kv),
-		ValueSize:   pick(*valSize, *kv),
-		DataType:    *dataType,
-		PairsPerMap: *pairs,
-		Seed:        *seed,
-		RDMAShuffle: *rdma,
+		Pattern:        microbench.Pattern(*pattern),
+		Network:        *network,
+		Cluster:        microbench.ClusterID(*clusterF),
+		Engine:         microbench.Engine(*engine),
+		Slaves:         *slaves,
+		NumMaps:        *maps,
+		NumReduces:     *reduces,
+		KeySize:        pick(*keySize, *kv),
+		ValueSize:      pick(*valSize, *kv),
+		DataType:       *dataType,
+		PairsPerMap:    *pairs,
+		Seed:           *seed,
+		RDMAShuffle:    *rdma,
+		ParallelCopies: *copiesF,
 	}
 	if *monitor {
 		cfg.MonitorInterval = time.Second
@@ -102,8 +106,8 @@ func main() {
 		fatal(fmt.Errorf("specify -size or -pairs"))
 	}
 
-	if *local {
-		runLocal(cfg)
+	if *local || *benchF != "" {
+		runLocal(cfg, *benchF)
 		return
 	}
 	res, err := microbench.Run(cfg)
@@ -127,23 +131,96 @@ func main() {
 	}
 }
 
-func runLocal(cfg microbench.Config) {
+func runLocal(cfg microbench.Config, benchPath string) {
 	job, err := microbench.BuildJob(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	start := time.Now()
-	res, err := localrun.Run(job, &localrun.Options{Faults: cfg.Faults})
+	res, err := localrun.Run(job, &localrun.Options{Faults: cfg.Faults, ParallelCopies: cfg.ParallelCopies})
 	if err != nil {
 		fatal(err)
 	}
+	elapsed := time.Since(start)
 	fmt.Printf("=== %s micro-benchmark (REAL execution via localrun) ===\n", cfg.Pattern)
 	fmt.Printf("maps/reduces        %d / %d\n", res.NumMaps, res.NumReduces)
-	fmt.Printf("wall time           %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("wall time           %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("counters:\n%s", res.Counters)
 	if cfg.Faults != nil {
 		fmt.Print(metrics.RenderKV("injected faults survived:", faultKVs(res.Counters)))
 	}
+	if benchPath != "" {
+		if err := writeBenchJSON(benchPath, cfg, res, elapsed); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote benchmark results to %s\n", benchPath)
+	}
+}
+
+// benchReport is the machine-readable result behind -bench-json. Committed
+// snapshots of it (BENCH_localrun.json) record the real executor's measured
+// throughput so changes to the hot paths leave a reviewable trajectory.
+type benchReport struct {
+	Schema  string       `json:"schema"`
+	Command string       `json:"command"`
+	Config  benchConfig  `json:"config"`
+	Results benchResults `json:"results"`
+}
+
+type benchConfig struct {
+	Pattern        string `json:"pattern"`
+	DataType       string `json:"datatype"`
+	KeySize        int    `json:"key_size"`
+	ValueSize      int    `json:"value_size"`
+	PairsPerMap    int64  `json:"pairs_per_map"`
+	NumMaps        int    `json:"maps"`
+	NumReduces     int    `json:"reduces"`
+	ParallelCopies int    `json:"parallel_copies"`
+}
+
+type benchResults struct {
+	WallMS          float64 `json:"wall_ms"`
+	MapOutputRecs   int64   `json:"map_output_records"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	ShuffleBytes    int64   `json:"shuffle_bytes"`
+	ShuffleMBPerSec float64 `json:"shuffle_mb_per_sec"`
+	SpilledRecords  int64   `json:"spilled_records"`
+	ReduceOutRecs   int64   `json:"reduce_output_records"`
+}
+
+func writeBenchJSON(path string, cfg microbench.Config, res *localrun.Result, elapsed time.Duration) error {
+	secs := elapsed.Seconds()
+	recs := res.Counters.Task(mapreduce.CtrMapOutputRecords)
+	shuffled := res.Counters.Task(mapreduce.CtrReduceShuffleBytes)
+	rep := benchReport{
+		Schema: "mrmicro-localrun-bench/v1",
+		Command: fmt.Sprintf("mrbench -local -pattern %s -datatype %s -keysize %d -valuesize %d -pairs %d -maps %d -reduces %d -parallelcopies %d -bench-json %s",
+			cfg.Pattern, cfg.DataType, cfg.KeySize, cfg.ValueSize, cfg.PairsPerMap, res.NumMaps, res.NumReduces, cfg.ParallelCopies, path),
+		Config: benchConfig{
+			Pattern:        string(cfg.Pattern),
+			DataType:       cfg.DataType,
+			KeySize:        cfg.KeySize,
+			ValueSize:      cfg.ValueSize,
+			PairsPerMap:    cfg.PairsPerMap,
+			NumMaps:        res.NumMaps,
+			NumReduces:     res.NumReduces,
+			ParallelCopies: cfg.ParallelCopies,
+		},
+		Results: benchResults{
+			WallMS:          float64(elapsed.Microseconds()) / 1e3,
+			MapOutputRecs:   recs,
+			RecordsPerSec:   float64(recs) / secs,
+			ShuffleBytes:    shuffled,
+			ShuffleMBPerSec: float64(shuffled) / (1 << 20) / secs,
+			SpilledRecords:  res.Counters.Task(mapreduce.CtrSpilledRecords),
+			ReduceOutRecs:   res.Counters.Task(mapreduce.CtrReduceOutputRecords),
+		},
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // faultKVs flattens the fault counter group for the report.

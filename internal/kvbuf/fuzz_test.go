@@ -22,12 +22,12 @@ func fuzzSeedSegment() []byte {
 func FuzzIFileReader(f *testing.F) {
 	valid := fuzzSeedSegment()
 	f.Add(valid)
-	f.Add(valid[:len(valid)-3])              // truncated inside the CRC trailer
-	f.Add(valid[:len(valid)/2])              // truncated mid-record
-	f.Add(append([]byte{0x85, 0x01}, 'x'))   // negative vint key length
-	f.Add(append(bytes.Clone(valid), 0, 0))  // trailing junk after the trailer
-	f.Add([]byte{})                          // empty stream
-	f.Add([]byte{0xff, 0xff, 0xff, 0xff})    // bare garbage
+	f.Add(valid[:len(valid)-3])             // truncated inside the CRC trailer
+	f.Add(valid[:len(valid)/2])             // truncated mid-record
+	f.Add(append([]byte{0x85, 0x01}, 'x'))  // negative vint key length
+	f.Add(append(bytes.Clone(valid), 0, 0)) // trailing junk after the trailer
+	f.Add([]byte{})                         // empty stream
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})   // bare garbage
 	flipped := bytes.Clone(valid)
 	flipped[len(flipped)/2] ^= 0x40
 	f.Add(flipped)

@@ -10,6 +10,7 @@ package kvbuf
 import (
 	"fmt"
 	"hash/crc32"
+	"sync"
 
 	"mrmicro/internal/writable"
 )
@@ -27,9 +28,26 @@ type Writer struct {
 	closed  bool
 }
 
+// segBufPool recycles segment backing buffers between short-lived segments
+// (spill outputs consumed by a merge, intermediate merge runs). Buffers
+// enter the pool only through Segment.Recycle, whose caller asserts the
+// segment is dead.
+var segBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // NewWriter returns an IFile writer with the given initial capacity hint.
+// Writers draw their buffer from the segment pool; a caller that sizes
+// capacity from the exact bytes it is about to append gets a single
+// allocation at worst and a pooled buffer at best.
 func NewWriter(capacity int) *Writer {
-	return &Writer{out: writable.NewDataOutput(capacity)}
+	bp := segBufPool.Get().(*[]byte)
+	buf := *bp
+	*bp = nil
+	if cap(buf) < capacity {
+		buf = make([]byte, 0, capacity)
+	} else {
+		buf = buf[:0]
+	}
+	return &Writer{out: writable.NewDataOutputOn(buf)}
 }
 
 // Append adds one record.
@@ -66,6 +84,11 @@ func (w *Writer) Close() *Segment {
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// UpdateCRC folds p into a running IFile checksum (CRC32-Castagnoli). It
+// lets network readers verify a segment incrementally while streaming it
+// off the wire, instead of re-scanning the whole buffer afterwards.
+func UpdateCRC(crc uint32, p []byte) uint32 { return crc32.Update(crc, castagnoli, p) }
+
 // Segment is one finished sorted run of records (a spill partition, a merge
 // output, or a shuffled map output).
 type Segment struct {
@@ -86,6 +109,21 @@ func (s *Segment) Len() int { return len(s.data) }
 
 // Records returns the record count, or -1 when unknown (adopted segments).
 func (s *Segment) Records() int { return s.records }
+
+// Recycle returns the segment's backing buffer to the writer pool and
+// clears the segment. Call it only when nothing can reference the segment
+// or views into its bytes anymore — e.g. a spill run after its bytes were
+// merged into the final map output. Using the segment (or byte slices read
+// from it) after Recycle is a data race with the pool's next writer.
+func (s *Segment) Recycle() {
+	if s.data == nil {
+		return
+	}
+	buf := s.data[:0]
+	segBufPool.Put(&buf)
+	s.data = nil
+	s.records = 0
+}
 
 // NewReader opens the segment for iteration. Compressed segments must be
 // Decompress()ed first.

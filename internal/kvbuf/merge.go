@@ -1,8 +1,9 @@
 package kvbuf
 
 import (
-	"container/heap"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"mrmicro/internal/writable"
 )
@@ -29,60 +30,87 @@ func (e *mergeEntry) advance() error {
 	return nil
 }
 
+// mergeHeap is a hand-rolled binary min-heap over segment cursors. It
+// deliberately avoids container/heap: the interface indirection and
+// Swap/Less method dispatch dominate small-record merges, and the merge
+// inner loop only ever needs "replace the root, sift it down".
 type mergeHeap struct {
 	cmp     writable.RawComparator
 	entries []*mergeEntry
+	comps   int64
 }
 
-func (h *mergeHeap) Len() int { return len(h.entries) }
-func (h *mergeHeap) Less(i, j int) bool {
-	a, b := h.entries[i], h.entries[j]
+func (h *mergeHeap) less(a, b *mergeEntry) bool {
+	h.comps++
 	if c := h.cmp(a.key, b.key); c != 0 {
 		return c < 0
 	}
 	return a.index < b.index
 }
-func (h *mergeHeap) Swap(i, j int)      { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
-func (h *mergeHeap) Push(x interface{}) { h.entries = append(h.entries, x.(*mergeEntry)) }
-func (h *mergeHeap) Pop() interface{} {
-	old := h.entries
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	h.entries = old[:n-1]
-	return e
+
+func (h *mergeHeap) siftDown(i int) {
+	e := h.entries
+	n := len(e)
+	root := e[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h.less(e[r], e[child]) {
+			child = r
+		}
+		if !h.less(e[child], root) {
+			break
+		}
+		e[i] = e[child]
+		i = child
+	}
+	e[i] = root
+}
+
+func (h *mergeHeap) init() {
+	for i := len(h.entries)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
 }
 
 // MergeStream k-way merges the segments in key order and calls emit for
 // every record. It returns the number of key comparisons performed (which
 // the simulated engines convert to CPU time).
 func MergeStream(cmp writable.RawComparator, segs []*Segment, emit func(key, val []byte) error) (comparisons int64, err error) {
-	h := &mergeHeap{cmp: func(a, b []byte) int { comparisons++; return cmp(a, b) }}
+	h := &mergeHeap{cmp: cmp, entries: make([]*mergeEntry, 0, len(segs))}
 	for i, s := range segs {
 		e := &mergeEntry{r: s.NewReader(), index: i}
 		if err := e.advance(); err != nil {
-			return comparisons, err
+			return h.comps, err
 		}
 		if !e.eof {
 			h.entries = append(h.entries, e)
 		}
 	}
-	heap.Init(h)
-	for h.Len() > 0 {
+	h.init()
+	for len(h.entries) > 0 {
 		e := h.entries[0]
 		if err := emit(e.key, e.val); err != nil {
-			return comparisons, err
+			return h.comps, err
 		}
 		if err := e.advance(); err != nil {
-			return comparisons, err
+			return h.comps, err
 		}
 		if e.eof {
-			heap.Pop(h)
+			last := len(h.entries) - 1
+			h.entries[0] = h.entries[last]
+			h.entries[last] = nil
+			h.entries = h.entries[:last]
+			if len(h.entries) > 1 {
+				h.siftDown(0)
+			}
 		} else {
-			heap.Fix(h, 0)
+			h.siftDown(0)
 		}
 	}
-	return comparisons, nil
+	return h.comps, nil
 }
 
 // Merge k-way merges segments into a single new segment.
@@ -122,6 +150,119 @@ func MergePasses(n, factor int) []int {
 		n = n - take + 1
 	}
 	return passes
+}
+
+// mergeIntermediate executes every intermediate pass of the MergePasses
+// plan, leaving at most factor segments for the caller's final merge. It
+// returns those final segments plus, per segment, whether this function
+// created it (scratch: safe to Recycle once its bytes were copied onward).
+//
+// Passes are grouped into waves: a wave is the longest run of consecutive
+// plan entries whose inputs are all materialized already, and the merges of
+// a wave read disjoint inputs, so they run concurrently (bounded by
+// parallelism; <= 0 means GOMAXPROCS). Scheduling does not change the
+// byte-level result: segment order, tie-breaking and the comparison count
+// are identical to running the plan sequentially.
+func mergeIntermediate(cmp writable.RawComparator, segs []*Segment, factor, parallelism int) (final []*Segment, scratch []bool, comparisons int64, err error) {
+	plan := MergePasses(len(segs), factor)
+	if len(plan) == 0 {
+		return segs, make([]bool, len(segs)), 0, nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	work := make([]*Segment, len(segs), len(segs)+len(plan))
+	copy(work, segs)
+	owned := make([]bool, len(segs), len(segs)+len(plan))
+	pos := 0
+	i := 0
+	for i < len(plan) {
+		taken := 0
+		var wave []int
+		for i < len(plan) && taken+plan[i] <= len(work)-pos {
+			taken += plan[i]
+			wave = append(wave, plan[i])
+			i++
+		}
+		if len(wave) == 0 {
+			return nil, nil, comparisons, fmt.Errorf("kvbuf: merge plan starved (%d segments, factor %d)", len(segs), factor)
+		}
+		outs := make([]*Segment, len(wave))
+		comps := make([]int64, len(wave))
+		errs := make([]error, len(wave))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, parallelism)
+		off := pos
+		for j, take := range wave {
+			in := work[off : off+take]
+			off += take
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(j int, in []*Segment) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				outs[j], comps[j], errs[j] = Merge(cmp, in)
+			}(j, in)
+		}
+		wg.Wait()
+		for j := range wave {
+			if errs[j] != nil {
+				return nil, nil, comparisons, errs[j]
+			}
+			comparisons += comps[j]
+		}
+		// The consumed inputs' bytes now live in the wave outputs; recycle
+		// the ones this plan created (never the caller's segments).
+		for k := pos; k < pos+taken; k++ {
+			if owned[k] {
+				work[k].Recycle()
+			}
+			work[k] = nil
+		}
+		pos += taken
+		for _, o := range outs {
+			work = append(work, o)
+			owned = append(owned, true)
+		}
+	}
+	return work[pos:], owned[pos:], comparisons, nil
+}
+
+// MergeAll merges any number of segments into a single segment while
+// honoring the io.sort.factor fan-in bound: intermediate passes (run
+// concurrently, scratch buffers recycled) reduce the count to at most
+// factor, then one final merge produces the output. With n <= factor it is
+// exactly Merge. parallelism <= 0 uses GOMAXPROCS.
+func MergeAll(cmp writable.RawComparator, segs []*Segment, factor, parallelism int) (*Segment, int64, error) {
+	final, scratch, comparisons, err := mergeIntermediate(cmp, segs, factor, parallelism)
+	if err != nil {
+		return nil, comparisons, err
+	}
+	out, comps, err := Merge(cmp, final)
+	comparisons += comps
+	if err != nil {
+		return nil, comparisons, err
+	}
+	for i, s := range final {
+		if scratch[i] {
+			s.Recycle()
+		}
+	}
+	return out, comparisons, nil
+}
+
+// MergeAllStream is MergeAll's streaming twin: the final bounded-width
+// merge goes to emit instead of a segment. Records emitted are views into
+// the final pass's input segments, so those segments (including any
+// intermediate outputs) are NOT recycled — they stay alive as long as the
+// caller retains the emitted slices.
+func MergeAllStream(cmp writable.RawComparator, segs []*Segment, factor, parallelism int, emit func(key, val []byte) error) (int64, error) {
+	final, _, comparisons, err := mergeIntermediate(cmp, segs, factor, parallelism)
+	if err != nil {
+		return comparisons, err
+	}
+	comps, err := MergeStream(cmp, final, emit)
+	return comparisons + comps, err
 }
 
 // Record is one materialized key/value pair.

@@ -2,7 +2,10 @@ package kvbuf
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"mrmicro/internal/writable"
 )
@@ -19,18 +22,51 @@ type recordMeta struct {
 // accumulate in a byte slab with metadata entries; Spill sorts them by
 // (partition, key) using the key type's raw comparator and emits one IFile
 // segment per partition.
+//
+// The spill path is the map side's hottest loop, so it avoids the obvious
+// costs: records are grouped by partition with a stable counting pass (no
+// partition comparisons at all), each partition's records are sorted through
+// a compact []int32 index with an inlined comparator that decides most
+// orders from a precomputed uint64 key prefix, partitions sort and serialize
+// in parallel when the record count warrants it, and every per-partition
+// IFile writer is sized from the exact bytes observed at Add time so segment
+// buffers never regrow. Slab and metadata arrays are recycled across
+// SortBuffer instances via Release().
 type SortBuffer struct {
 	cmp        writable.RawComparator
+	prefix     writable.PrefixFunc
 	partitions int
 	capacity   int
 
-	slab []byte
-	meta []recordMeta
+	slab     []byte
+	meta     []recordMeta
+	prefixes []uint64 // parallel to meta; only filled when prefix != nil
+
+	partRecs  []int32 // records per partition (reset each spill)
+	partBytes []int64 // exact IFile body bytes per partition (reset each spill)
 }
 
 // MetaBytesPerRecord approximates the bookkeeping overhead Hadoop charges
 // per record against io.sort.mb (kvmeta's 16 bytes plus kvindex).
 const MetaBytesPerRecord = 16
+
+// parallelSpillRecords is the record count past which Spill fans partitions
+// out across GOMAXPROCS goroutines; below it the goroutine handoff costs
+// more than the sort.
+const parallelSpillRecords = 4096
+
+// segmentTrailerBytes is the fixed IFile tail: two 1-byte EOF vints plus the
+// 4-byte CRC32 trailer.
+const segmentTrailerBytes = 6
+
+// Pools recycling the large per-buffer arrays across SortBuffer instances
+// (one per map attempt) and the per-spill sort index.
+var (
+	slabPool   = sync.Pool{New: func() any { return new([]byte) }}
+	metaPool   = sync.Pool{New: func() any { return new([]recordMeta) }}
+	prefixPool = sync.Pool{New: func() any { return new([]uint64) }}
+	idxPool    = sync.Pool{New: func() any { return new([]int32) }}
+)
 
 // NewSortBuffer creates a buffer of capacityBytes for the given partition
 // count, sorting keys with cmp.
@@ -41,7 +77,50 @@ func NewSortBuffer(capacityBytes, partitions int, cmp writable.RawComparator) *S
 	if cmp == nil {
 		panic("kvbuf: nil comparator")
 	}
-	return &SortBuffer{cmp: cmp, partitions: partitions, capacity: capacityBytes}
+	return &SortBuffer{
+		cmp:        cmp,
+		partitions: partitions,
+		capacity:   capacityBytes,
+		slab:       (*slabPool.Get().(*[]byte))[:0],
+		meta:       (*metaPool.Get().(*[]recordMeta))[:0],
+		partRecs:   make([]int32, partitions),
+		partBytes:  make([]int64, partitions),
+	}
+}
+
+// SetPrefixFunc installs an order-preserving key-prefix extractor (see
+// writable.PrefixExtractor); the sort then resolves most comparisons from
+// one uint64 compare instead of calling the raw comparator. Must be called
+// before the first Add.
+func (b *SortBuffer) SetPrefixFunc(f writable.PrefixFunc) {
+	if len(b.meta) > 0 {
+		panic("kvbuf: SetPrefixFunc after Add")
+	}
+	b.prefix = f
+	if f != nil && b.prefixes == nil {
+		b.prefixes = (*prefixPool.Get().(*[]uint64))[:0]
+	}
+}
+
+// Release returns the buffer's backing arrays to the shared pools. The
+// buffer must not be used afterwards. Segments returned by earlier Spills
+// stay valid: they own their bytes.
+func (b *SortBuffer) Release() {
+	if b.slab != nil {
+		s := b.slab[:0]
+		slabPool.Put(&s)
+		b.slab = nil
+	}
+	if b.meta != nil {
+		m := b.meta[:0]
+		metaPool.Put(&m)
+		b.meta = nil
+	}
+	if b.prefixes != nil {
+		p := b.prefixes[:0]
+		prefixPool.Put(&p)
+		b.prefixes = nil
+	}
 }
 
 // Add buffers one record. It returns false when the record does not fit
@@ -67,6 +146,12 @@ func (b *SortBuffer) Add(partition int, key, val []byte) (bool, error) {
 		keyOff:    ko, keyLen: int32(len(key)),
 		valOff: vo, valLen: int32(len(val)),
 	})
+	if b.prefix != nil {
+		b.prefixes = append(b.prefixes, b.prefix(key))
+	}
+	b.partRecs[partition]++
+	b.partBytes[partition] += int64(len(key)+len(val)) +
+		int64(writable.VLongEncodedLen(int64(len(key)))+writable.VLongEncodedLen(int64(len(val))))
 	return true, nil
 }
 
@@ -87,29 +172,111 @@ func (b *SortBuffer) ShouldSpill(spillPercent float64) bool {
 // Spill sorts the buffered records by (partition, key) and returns one
 // segment per partition (empty partitions yield empty segments), then
 // resets the buffer. Comparisons is the number of key comparisons performed,
-// which the simulated engines convert to CPU time.
+// which the simulated engines convert to CPU time. The sort is stable:
+// records with equal keys keep insertion order, so output is deterministic
+// regardless of how many goroutines the spill used.
 func (b *SortBuffer) Spill() (segs []*Segment, comparisons int64) {
-	key := func(m recordMeta) []byte { return b.slab[m.keyOff : m.keyOff+m.keyLen] }
-	sort.SliceStable(b.meta, func(i, j int) bool {
-		comparisons++
-		a, c := b.meta[i], b.meta[j]
-		if a.partition != c.partition {
-			return a.partition < c.partition
-		}
-		return b.cmp(key(a), key(c)) < 0
-	})
+	n := len(b.meta)
 	segs = make([]*Segment, b.partitions)
-	i := 0
-	for p := 0; p < b.partitions; p++ {
-		w := NewWriter(64)
-		for i < len(b.meta) && b.meta[i].partition == int32(p) {
-			m := b.meta[i]
-			w.Append(key(m), b.slab[m.valOff:m.valOff+m.valLen])
-			i++
-		}
-		segs[p] = w.Close()
+
+	// Stable counting pass: place each record's index into its partition's
+	// contiguous range. Partition grouping costs zero comparisons.
+	idxp := idxPool.Get().(*[]int32)
+	idx := *idxp
+	if cap(idx) < n {
+		idx = make([]int32, n)
+	} else {
+		idx = idx[:n]
 	}
+	starts := make([]int32, b.partitions+1)
+	for p := 0; p < b.partitions; p++ {
+		starts[p+1] = starts[p] + b.partRecs[p]
+	}
+	fill := make([]int32, b.partitions)
+	copy(fill, starts[:b.partitions])
+	for i := range b.meta {
+		p := b.meta[i].partition
+		idx[fill[p]] = int32(i)
+		fill[p]++
+	}
+
+	if n >= parallelSpillRecords && b.partitions > 1 && runtime.GOMAXPROCS(0) > 1 {
+		var total atomic.Int64
+		var wg sync.WaitGroup
+		var next atomic.Int32
+		workers := min(runtime.GOMAXPROCS(0), b.partitions)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var comps int64
+				for {
+					p := int(next.Add(1)) - 1
+					if p >= b.partitions {
+						break
+					}
+					comps += b.spillPartition(p, idx[starts[p]:starts[p+1]], segs)
+				}
+				total.Add(comps)
+			}()
+		}
+		wg.Wait()
+		comparisons = total.Load()
+	} else {
+		for p := 0; p < b.partitions; p++ {
+			comparisons += b.spillPartition(p, idx[starts[p]:starts[p+1]], segs)
+		}
+	}
+
+	idxPool.Put(&idx)
 	b.slab = b.slab[:0]
 	b.meta = b.meta[:0]
+	if b.prefixes != nil {
+		b.prefixes = b.prefixes[:0]
+	}
+	for p := range b.partRecs {
+		b.partRecs[p] = 0
+		b.partBytes[p] = 0
+	}
 	return segs, comparisons
+}
+
+// spillPartition sorts one partition's record indices and serializes them
+// into an exactly-sized IFile segment, returning the key comparisons spent.
+func (b *SortBuffer) spillPartition(p int, part []int32, segs []*Segment) int64 {
+	var comps int64
+	slab, meta := b.slab, b.meta
+	if b.prefix != nil {
+		prefixes := b.prefixes
+		slices.SortFunc(part, func(x, y int32) int {
+			comps++
+			if px, py := prefixes[x], prefixes[y]; px != py {
+				if px < py {
+					return -1
+				}
+				return 1
+			}
+			mx, my := &meta[x], &meta[y]
+			if c := b.cmp(slab[mx.keyOff:mx.keyOff+mx.keyLen], slab[my.keyOff:my.keyOff+my.keyLen]); c != 0 {
+				return c
+			}
+			return int(x - y) // stability: equal keys keep insertion order
+		})
+	} else {
+		slices.SortFunc(part, func(x, y int32) int {
+			comps++
+			mx, my := &meta[x], &meta[y]
+			if c := b.cmp(slab[mx.keyOff:mx.keyOff+mx.keyLen], slab[my.keyOff:my.keyOff+my.keyLen]); c != 0 {
+				return c
+			}
+			return int(x - y)
+		})
+	}
+	w := NewWriter(int(b.partBytes[p]) + segmentTrailerBytes)
+	for _, i := range part {
+		m := &meta[i]
+		w.Append(slab[m.keyOff:m.keyOff+m.keyLen], slab[m.valOff:m.valOff+m.valLen])
+	}
+	segs[p] = w.Close()
+	return comps
 }

@@ -19,6 +19,11 @@ type Options struct {
 	MapParallelism    int
 	ReduceParallelism int
 
+	// ParallelCopies bounds each reduce task's concurrent shuffle fetch
+	// connections, Hadoop's mapreduce.reduce.shuffle.parallelcopies. Zero
+	// defers to the job Conf's value (default 5).
+	ParallelCopies int
+
 	// Faults enables seeded, deterministic fault injection (nil: nothing
 	// injected). The recovery machinery — bounded task re-execution and
 	// shuffle-fetch retry with backoff — is the same code that guards
@@ -222,11 +227,15 @@ func runReduceWithRetry(job *mapreduce.Job, jobID mapreduce.JobID, r, numMaps in
 	if bo.Attempts == 0 && opts.Faults != nil {
 		bo.Attempts = opts.Faults.FetchAttempts()
 	}
+	copies := opts.ParallelCopies
+	if copies <= 0 {
+		copies = job.Conf.ParallelCopies()
+	}
 	faultCtrs := mapreduce.NewCounters()
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		aid := mapreduce.ReduceAttempt(jobID, r, attempt)
-		c, err := runReduceTask(job, aid, numMaps, serverAddr, cmp, opts.Faults, bo, faultCtrs)
+		c, err := runReduceTask(job, aid, numMaps, serverAddr, cmp, opts.Faults, bo, copies, faultCtrs)
 		if err == nil {
 			c.Merge(faultCtrs)
 			return c, nil
@@ -312,6 +321,7 @@ func (mc *mapCollector) spill() error {
 			if err != nil {
 				return err
 			}
+			seg.Recycle() // combineSegment copied what it kept
 			segs[p] = combined
 		}
 	}
@@ -336,10 +346,15 @@ func runMapTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, split mapreduce
 		// same records, so recovery cannot change the job's output.
 		part = func() mapreduce.Partitioner { return job.PartitionerForTask(idx) }
 	}
+	buf := kvbuf.NewSortBuffer(job.Conf.IOSortMB()<<20, numReduces, cmp)
+	defer buf.Release()
+	if pf, ok := writable.PrefixExtractor(job.MapOutputKeyType); ok {
+		buf.SetPrefixFunc(pf)
+	}
 	mc := &mapCollector{
 		job:        job,
 		part:       part(),
-		buf:        kvbuf.NewSortBuffer(job.Conf.IOSortMB()<<20, numReduces, cmp),
+		buf:        buf,
 		numReduces: numReduces,
 		spillPct:   job.Conf.SortSpillPercent(),
 		ctrs:       ctrs,
@@ -386,9 +401,11 @@ func runMapTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, split mapreduce
 		abortAt = numReduces / 2
 	}
 
-	// Merge spills per partition into the final map output, compressing it
+	// Merge spills per partition into the final map output (multi-pass with
+	// io.sort.factor fan-in when a task spilled many times), compressing it
 	// when mapreduce.map.output.compress is set.
 	compress := job.Conf.GetBool(mapreduce.ConfCompressMapOut, false)
+	factor := job.Conf.IOSortFactor()
 	for p := 0; p < numReduces; p++ {
 		if p == abortAt {
 			return ctrs, faultinject.Errorf("localrun: %s aborted during shuffle registration (%d/%d partitions published)", aid, p, numReduces)
@@ -401,16 +418,24 @@ func runMapTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, split mapreduce
 			for s := range mc.spills {
 				parts[s] = mc.spills[s][p]
 			}
-			merged, _, err := kvbuf.Merge(cmp, parts)
+			merged, _, err := kvbuf.MergeAll(cmp, parts, factor, 0)
 			if err != nil {
 				return ctrs, fmt.Errorf("localrun: map %d final merge: %w", idx, err)
 			}
 			final = merged
+			// The spill runs' bytes were copied into the merged segment;
+			// recycle their buffers for the next spill or map task.
+			for s := range mc.spills {
+				mc.spills[s][p].Recycle()
+			}
 		}
 		if compress {
 			z, err := kvbuf.CompressSegment(final)
 			if err != nil {
 				return ctrs, fmt.Errorf("localrun: map %d compress: %w", idx, err)
+			}
+			if len(mc.spills) > 1 {
+				final.Recycle() // scratch merge output, now copied into z
 			}
 			final = z
 		}
@@ -510,40 +535,34 @@ func (it *valueIter) Next() (writable.Writable, bool) {
 	return it.inst, true
 }
 
-func runReduceTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, numMaps int, serverAddr string, cmp writable.RawComparator, plan *faultinject.Plan, bo faultinject.Backoff, faultCtrs *mapreduce.Counters) (*mapreduce.Counters, error) {
+func runReduceTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, numMaps int, serverAddr string, cmp writable.RawComparator, plan *faultinject.Plan, bo faultinject.Backoff, copies int, faultCtrs *mapreduce.Counters) (*mapreduce.Counters, error) {
 	r := aid.Task.Index
 	ctrs := mapreduce.NewCounters()
 	rep := &mapreduce.CountersReporter{C: ctrs}
 
-	// Shuffle: fetch this partition's segment from every map, with
-	// parallelcopies concurrent fetchers. Each fetch verifies the IFile
-	// checksum and retries transient failures with backoff.
-	segs := make([]*kvbuf.Segment, numMaps)
-	var mu sync.Mutex
+	// Shuffle: fetch this partition's segment from every map over
+	// parallelcopies persistent pipelined connections. Each fetch verifies
+	// the IFile checksum as it streams in and retries transient failures
+	// with backoff.
 	compressed := job.Conf.GetBool(mapreduce.ConfCompressMapOut, false)
-	err := parallelFor(numMaps, job.Conf.ParallelCopies(), func(m int) error {
-		var st fetchStats
-		seg, wireLen, err := fetchValidated(serverAddr, m, r, compressed, plan, bo, &st)
-		mu.Lock()
-		// Skip zero increments so clean runs don't grow an all-zero
-		// FaultCounter group in their counter dump.
-		if st.failures > 0 {
-			faultCtrs.IncrFault(mapreduce.CtrShuffleFetchFailures, st.failures)
-		}
-		if st.retries > 0 {
-			faultCtrs.IncrFault(mapreduce.CtrShuffleFetchRetries, st.retries)
-		}
-		if st.slow > 0 {
-			faultCtrs.IncrFault(mapreduce.CtrShuffleFetchesSlow, st.slow)
-		}
-		if err == nil {
-			segs[m] = seg
+	segs, wire, st, err := fetchAllSegments(serverAddr, numMaps, r, copies, compressed, plan, bo)
+	// Skip zero increments so clean runs don't grow an all-zero
+	// FaultCounter group in their counter dump.
+	if st.failures > 0 {
+		faultCtrs.IncrFault(mapreduce.CtrShuffleFetchFailures, st.failures)
+	}
+	if st.retries > 0 {
+		faultCtrs.IncrFault(mapreduce.CtrShuffleFetchRetries, st.retries)
+	}
+	if st.slow > 0 {
+		faultCtrs.IncrFault(mapreduce.CtrShuffleFetchesSlow, st.slow)
+	}
+	for m := 0; m < numMaps; m++ {
+		if segs[m] != nil {
 			ctrs.IncrTask(mapreduce.CtrShuffledMaps, 1)
-			ctrs.IncrTask(mapreduce.CtrReduceShuffleBytes, wireLen)
+			ctrs.IncrTask(mapreduce.CtrReduceShuffleBytes, wire[m])
 		}
-		mu.Unlock()
-		return err
-	})
+	}
 	if err != nil {
 		return ctrs, fmt.Errorf("localrun: reduce %d shuffle: %w", r, err)
 	}
@@ -554,7 +573,12 @@ func runReduceTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, numMaps int,
 		return ctrs, faultinject.Errorf("localrun: %s aborted after shuffle", aid)
 	}
 
-	// Sort: merge all map segments.
+	// Sort: merge all map segments in a single pass. Every fetched segment
+	// is already in memory, so the fan-in bound that matters for disk-backed
+	// merges (io.sort.factor) would only add intermediate record copies
+	// here; a single wide pass over the inlined merge heap is faster. The
+	// emitted records are views into the fetched segments, which stay alive
+	// in segs.
 	var recs []kvbuf.Record
 	if _, err := kvbuf.MergeStream(cmp, segs, func(k, v []byte) error {
 		recs = append(recs, kvbuf.Record{Key: k, Val: v})

@@ -6,6 +6,7 @@
 package localrun
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -26,7 +27,10 @@ var ErrServerClosed = errors.New("localrun: shuffle server closed")
 //
 // Wire protocol (binary, big-endian): request = uint32 map index, uint32
 // partition; response = 1 status byte (0 = ok) then uint64 payload length
-// and the raw IFile segment bytes.
+// and the raw IFile segment bytes. Connections are persistent: a client may
+// pipeline any number of requests on one connection and responses come back
+// in request order, so per-segment dial/teardown never touches the copy
+// phase's critical path.
 type shuffleServer struct {
 	ln net.Listener
 
@@ -96,16 +100,21 @@ func (s *shuffleServer) serve(conn net.Conn) {
 		part := int(binary.BigEndian.Uint32(req[4:]))
 		seg, ok := s.lookup(mapIdx, part)
 		if !ok {
-			conn.Write([]byte{1})
-			return
+			// A miss answers one request; it must not kill the connection,
+			// which may carry pipelined requests for segments that do exist.
+			if _, err := conn.Write([]byte{1}); err != nil {
+				return
+			}
+			continue
 		}
 		var hdr [9]byte
 		hdr[0] = 0
 		binary.BigEndian.PutUint64(hdr[1:], uint64(seg.Len()))
-		if _, err := conn.Write(hdr[:]); err != nil {
-			return
-		}
-		if _, err := conn.Write(seg.Bytes()); err != nil {
+		// One writev per response: header and payload leave in a single
+		// syscall, so the client's pipelined reads never stall on a
+		// 9-byte header packet.
+		bufs := net.Buffers{hdr[:], seg.Bytes()}
+		if _, err := bufs.WriteTo(conn); err != nil {
 			return
 		}
 	}
@@ -124,41 +133,134 @@ func (s *shuffleServer) Close() {
 	s.wg.Wait()
 }
 
-// fetchSegment retrieves one map-output partition from a shuffle server.
-func fetchSegment(addr string, mapIdx, partition int) (*kvbuf.Segment, error) {
+// fetchPipelineDepth bounds how many segment requests a fetcher keeps in
+// flight on one connection. Requests are 8 bytes, so the bound exists to
+// limit how much response data the server can commit to one slow client,
+// not to protect the request path.
+const fetchPipelineDepth = 8
+
+// shuffleCRCChunk is the read granularity for streaming checksum
+// verification: big enough to amortize syscalls, small enough that the
+// just-read bytes are still cache-hot when the CRC folds them in.
+const shuffleCRCChunk = 128 << 10
+
+// errSegmentMissing marks a status-1 response; callers translate it into a
+// permanent, map-specific error.
+var errSegmentMissing = errors.New("localrun: segment not found on server")
+
+// errShuffleChecksum marks a payload whose streamed CRC did not match its
+// trailer. The connection itself is intact (the payload was fully read), so
+// callers retry without reconnecting.
+var errShuffleChecksum = errors.New("localrun: shuffle payload checksum mismatch")
+
+// shuffleConn is one persistent client connection to a shuffle server.
+type shuffleConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func dialShuffle(addr string) (*shuffleConn, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("localrun: shuffle dial: %w", err)
 	}
-	defer conn.Close()
+	return &shuffleConn{conn: conn, br: bufio.NewReaderSize(conn, 4<<10)}, nil
+}
+
+func (c *shuffleConn) Close() {
+	if c != nil {
+		c.conn.Close()
+	}
+}
+
+// request puts one segment request on the wire; the matching response
+// arrives in request order behind any already in flight.
+func (c *shuffleConn) request(mapIdx, partition int) error {
 	var req [8]byte
 	binary.BigEndian.PutUint32(req[:4], uint32(mapIdx))
 	binary.BigEndian.PutUint32(req[4:], uint32(partition))
-	if _, err := conn.Write(req[:]); err != nil {
-		return nil, fmt.Errorf("localrun: shuffle request: %w", err)
+	if _, err := c.conn.Write(req[:]); err != nil {
+		return fmt.Errorf("localrun: shuffle request: %w", err)
 	}
-	var status [1]byte
-	if _, err := io.ReadFull(conn, status[:]); err != nil {
+	return nil
+}
+
+// response reads the next pipelined response. With checksum set, the
+// payload streams through the IFile CRC as it is read off the socket, so a
+// valid return needs no second verification pass over the buffer.
+func (c *shuffleConn) response(checksum bool) ([]byte, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(c.br, hdr[:1]); err != nil {
 		return nil, fmt.Errorf("localrun: shuffle status: %w", err)
 	}
-	if status[0] != 0 {
-		// The map phase completed before any reducer started, so a missing
-		// segment will never appear: fail fast instead of retrying.
-		return nil, faultinject.Permanent(fmt.Errorf("localrun: map %d partition %d not found on server", mapIdx, partition))
+	if hdr[0] != 0 {
+		return nil, errSegmentMissing
 	}
-	var lenBuf [8]byte
-	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+	if _, err := io.ReadFull(c.br, hdr[1:]); err != nil {
 		return nil, fmt.Errorf("localrun: shuffle length: %w", err)
 	}
-	n := binary.BigEndian.Uint64(lenBuf[:])
+	n := int(binary.BigEndian.Uint64(hdr[1:]))
 	data := make([]byte, n)
-	if _, err := io.ReadFull(conn, data); err != nil {
-		return nil, fmt.Errorf("localrun: shuffle payload: %w", err)
+	if !checksum {
+		if _, err := io.ReadFull(c.br, data); err != nil {
+			return nil, fmt.Errorf("localrun: shuffle payload: %w", err)
+		}
+		return data, nil
+	}
+	if n < 4 {
+		if _, err := io.ReadFull(c.br, data); err != nil {
+			return nil, fmt.Errorf("localrun: shuffle payload: %w", err)
+		}
+		return nil, fmt.Errorf("%w: segment of %d bytes cannot hold a checksum trailer", errShuffleChecksum, n)
+	}
+	body := n - 4
+	var crc uint32
+	for off := 0; off < n; {
+		end := min(off+shuffleCRCChunk, n)
+		if _, err := io.ReadFull(c.br, data[off:end]); err != nil {
+			return nil, fmt.Errorf("localrun: shuffle payload: %w", err)
+		}
+		if off < body {
+			crc = kvbuf.UpdateCRC(crc, data[off:min(end, body)])
+		}
+		off = end
+	}
+	if want := binary.BigEndian.Uint32(data[body:]); crc != want {
+		return nil, fmt.Errorf("%w: %08x != %08x", errShuffleChecksum, crc, want)
+	}
+	return data, nil
+}
+
+// fetchSegment retrieves one map-output partition over a throwaway
+// connection, verifying the payload's CRC trailer while it streams in. It
+// exists for one-shot callers; the copy phase itself runs segmentFetchers.
+func fetchSegment(addr string, mapIdx, partition int) (*kvbuf.Segment, error) {
+	c, err := dialShuffle(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if err := c.request(mapIdx, partition); err != nil {
+		return nil, err
+	}
+	data, err := c.response(true)
+	if err != nil {
+		if errors.Is(err, errSegmentMissing) {
+			return nil, missingSegmentErr(mapIdx, partition)
+		}
+		return nil, err
 	}
 	return kvbuf.SegmentFromBytes(data), nil
 }
 
-// fetchStats tallies recovery events of one segment fetch; the reduce task
+// missingSegmentErr is permanent: the map phase completed before any
+// reducer started, so a missing segment will never appear; fail fast
+// instead of retrying.
+func missingSegmentErr(mapIdx, partition int) error {
+	return faultinject.Permanent(fmt.Errorf("localrun: map %d partition %d not found on server", mapIdx, partition))
+}
+
+// fetchStats tallies recovery events of segment fetches; the reduce task
 // folds them into its fault counters.
 type fetchStats struct {
 	failures int64 // fetch attempts that failed (dropped, truncated, corrupt)
@@ -166,55 +268,309 @@ type fetchStats struct {
 	slow     int64 // injected slow-peer fetches
 }
 
+func (a *fetchStats) add(b fetchStats) {
+	a.failures += b.failures
+	a.retries += b.retries
+	a.slow += b.slow
+}
+
+// segmentFetcher drains one reduce task's share of map outputs through a
+// single persistent shuffle connection: the Hadoop copier thread. The happy
+// path pipelines requests up to fetchPipelineDepth deep; segments whose
+// first attempt failed are retried with backoff, re-dialing first when the
+// failure killed the connection. Injected faults (dropped connections,
+// truncated payloads, slow peers) enter here — the same code path that
+// recovers from a genuinely flaky peer.
+type segmentFetcher struct {
+	addr       string
+	reduce     int
+	compressed bool
+	plan       *faultinject.Plan
+	bo         faultinject.Backoff
+	conn       *shuffleConn
+	st         *fetchStats
+}
+
+func (f *segmentFetcher) seed(mapIdx int) int64 {
+	var seed int64
+	if f.plan != nil {
+		seed = f.plan.Seed
+	}
+	return seed ^ (int64(mapIdx)*1000003 + int64(f.reduce))
+}
+
+func (f *segmentFetcher) closeConn() {
+	f.conn.Close()
+	f.conn = nil
+}
+
+func (f *segmentFetcher) ensureConn() error {
+	if f.conn != nil {
+		return nil
+	}
+	c, err := dialShuffle(f.addr)
+	if err != nil {
+		return err
+	}
+	f.conn = c
+	return nil
+}
+
+// validate applies the injected truncation fault and, when the shuffle is
+// compressed, inflates and verifies the payload. Uncompressed payloads were
+// already CRC-verified while streaming off the wire, so they are only
+// re-checked when truncation mangled them afterwards.
+func (f *segmentFetcher) validate(data []byte, truncate bool, mapIdx int) (*kvbuf.Segment, error) {
+	if truncate && len(data) > 0 {
+		data = data[:len(data)-(1+len(data)/16)]
+	}
+	if f.compressed {
+		s, err := kvbuf.CompressedSegmentFromBytes(data).Decompress()
+		if err != nil {
+			return nil, fmt.Errorf("localrun: shuffle map %d -> reduce %d: %w", mapIdx, f.reduce, err)
+		}
+		if err := s.Verify(); err != nil {
+			return nil, fmt.Errorf("localrun: shuffle map %d -> reduce %d: %w", mapIdx, f.reduce, err)
+		}
+		return s, nil
+	}
+	s := kvbuf.SegmentFromBytes(data)
+	if truncate {
+		if err := s.Verify(); err != nil {
+			return nil, fmt.Errorf("localrun: shuffle map %d -> reduce %d: %w", mapIdx, f.reduce, err)
+		}
+	}
+	return s, nil
+}
+
+// fetchOne performs a single unpipelined fetch attempt for one map output
+// on the persistent connection, reconnecting first if an earlier failure
+// killed it. It is the retry-path workhorse and the body behind
+// fetchValidated.
+func (f *segmentFetcher) fetchOne(mapIdx, attempt int) (*kvbuf.Segment, int64, error) {
+	fault := faultinject.FetchOK
+	if f.plan != nil {
+		fault = f.plan.Fetch(f.reduce, mapIdx, attempt)
+	}
+	switch fault {
+	case faultinject.FetchDrop:
+		f.st.failures++
+		// The injected drop takes the TCP connection with it: the retry
+		// that follows must re-dial, exercising reconnect for real.
+		f.closeConn()
+		return nil, 0, faultinject.Errorf("localrun: shuffle map %d -> reduce %d attempt %d: connection dropped", mapIdx, f.reduce, attempt)
+	case faultinject.FetchSlow:
+		f.st.slow++
+		time.Sleep(f.plan.Slowness())
+	}
+	if err := f.ensureConn(); err != nil {
+		f.st.failures++
+		return nil, 0, err
+	}
+	if err := f.conn.request(mapIdx, f.reduce); err != nil {
+		f.st.failures++
+		f.closeConn()
+		return nil, 0, err
+	}
+	data, err := f.conn.response(!f.compressed)
+	if err != nil {
+		f.st.failures++
+		if errors.Is(err, errSegmentMissing) {
+			return nil, 0, missingSegmentErr(mapIdx, f.reduce)
+		}
+		if !errors.Is(err, errShuffleChecksum) {
+			f.closeConn() // a half-read response desyncs the stream
+		}
+		return nil, 0, err
+	}
+	seg, err := f.validate(data, fault == faultinject.FetchTruncate, mapIdx)
+	if err != nil {
+		f.st.failures++
+		return nil, 0, err
+	}
+	return seg, int64(len(data)), nil
+}
+
+// inflightFetch is one pipelined request awaiting its response.
+type inflightFetch struct {
+	mapIdx   int
+	truncate bool // this attempt's injected truncation fault
+}
+
+// failedFetch is a map output whose first attempt failed; err feeds the
+// retry loop as attempt zero's outcome.
+type failedFetch struct {
+	mapIdx int
+	err    error
+}
+
+// run fetches map outputs [lo, hi) into segs/wire (indexed by map). First
+// attempts ride the pipelined window; failures fall through to per-segment
+// backoff retries. Like the pre-pipelining fetcher, one segment's
+// exhausted retries do not abort the rest — the first error is returned
+// after every segment has had its chance.
+func (f *segmentFetcher) run(lo, hi int, segs []*kvbuf.Segment, wire []int64) error {
+	defer f.closeConn()
+
+	var retry []failedFetch
+	fail := func(mapIdx int, err error) {
+		f.st.failures++
+		retry = append(retry, failedFetch{mapIdx: mapIdx, err: err})
+	}
+
+	var inflight []inflightFetch
+	next := lo
+	for next < hi || len(inflight) > 0 {
+		// Fill the request window.
+		for next < hi && len(inflight) < fetchPipelineDepth {
+			m := next
+			next++
+			fault := faultinject.FetchOK
+			if f.plan != nil {
+				fault = f.plan.Fetch(f.reduce, m, 0)
+			}
+			if fault == faultinject.FetchDrop {
+				fail(m, faultinject.Errorf("localrun: shuffle map %d -> reduce %d attempt %d: connection dropped", m, f.reduce, 0))
+				continue
+			}
+			if fault == faultinject.FetchSlow {
+				f.st.slow++
+				time.Sleep(f.plan.Slowness())
+			}
+			if err := f.ensureConn(); err != nil {
+				fail(m, err)
+				continue
+			}
+			if err := f.conn.request(m, f.reduce); err != nil {
+				// The pipe died: responses for everything in flight are
+				// lost with it. All of them ride the retry path, which
+				// reconnects.
+				fail(m, err)
+				for _, q := range inflight {
+					fail(q.mapIdx, err)
+				}
+				inflight = inflight[:0]
+				f.closeConn()
+				continue
+			}
+			inflight = append(inflight, inflightFetch{mapIdx: m, truncate: fault == faultinject.FetchTruncate})
+		}
+		if len(inflight) == 0 {
+			continue
+		}
+		// Drain the oldest response.
+		req := inflight[0]
+		data, err := f.conn.response(!f.compressed)
+		switch {
+		case err == nil:
+			inflight = append(inflight[:0], inflight[1:]...)
+			seg, verr := f.validate(data, req.truncate, req.mapIdx)
+			if verr != nil {
+				fail(req.mapIdx, verr)
+				continue
+			}
+			segs[req.mapIdx] = seg
+			wire[req.mapIdx] = int64(len(data))
+		case errors.Is(err, errSegmentMissing):
+			// The server answered and keeps serving the rest of the
+			// pipeline; only this segment is (permanently) failed.
+			inflight = append(inflight[:0], inflight[1:]...)
+			fail(req.mapIdx, missingSegmentErr(req.mapIdx, f.reduce))
+		case errors.Is(err, errShuffleChecksum):
+			inflight = append(inflight[:0], inflight[1:]...)
+			fail(req.mapIdx, err)
+		default:
+			// Connection-level failure: every in-flight response is lost.
+			for _, q := range inflight {
+				fail(q.mapIdx, err)
+			}
+			inflight = inflight[:0]
+			f.closeConn()
+		}
+	}
+
+	// Retry pass: each failed segment replays its backoff schedule, with
+	// the recorded first-attempt error standing in for attempt zero (its
+	// fault roll and failure count already happened above).
+	var firstErr error
+	for _, fl := range retry {
+		attempt0 := fl.err
+		m := fl.mapIdx
+		err := f.bo.Retry(f.seed(m), func(attempt int) error {
+			if attempt == 0 {
+				return attempt0
+			}
+			f.st.retries++
+			seg, n, err := f.fetchOne(m, attempt)
+			if err != nil {
+				return err
+			}
+			segs[m] = seg
+			wire[m] = n
+			return nil
+		})
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// fetchAllSegments shuffles one reduce task's input: every map's partition
+// segment, fetched over `copies` persistent connections (Hadoop's
+// mapreduce.reduce.shuffle.parallelcopies) with pipelined requests,
+// streaming CRC verification, and per-segment retry. segs and wire are
+// indexed by map; stats aggregates recovery events across all fetchers.
+func fetchAllSegments(addr string, numMaps, reduce, copies int, compressed bool, plan *faultinject.Plan, bo faultinject.Backoff) (segs []*kvbuf.Segment, wire []int64, stats fetchStats, err error) {
+	segs = make([]*kvbuf.Segment, numMaps)
+	wire = make([]int64, numMaps)
+	if copies < 1 {
+		copies = 1
+	}
+	copies = min(copies, numMaps)
+	sts := make([]fetchStats, copies)
+	errs := make([]error, copies)
+	var wg sync.WaitGroup
+	for w := 0; w < copies; w++ {
+		lo := w * numMaps / copies
+		hi := (w + 1) * numMaps / copies
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			f := &segmentFetcher{addr: addr, reduce: reduce, compressed: compressed, plan: plan, bo: bo, st: &sts[w]}
+			errs[w] = f.run(lo, hi, segs, wire)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := 0; w < copies; w++ {
+		stats.add(sts[w])
+		if err == nil {
+			err = errs[w]
+		}
+	}
+	return segs, wire, stats, err
+}
+
 // fetchValidated retrieves one map-output partition, verifies its IFile
-// checksum trailer, inflates it when the shuffle is compressed, and retries
-// transient failures with jittered exponential backoff. Injected faults
-// (dropped connections, truncated payloads, slow peers) enter here — the
-// same code path that recovers from a genuinely flaky peer. wireLen is the
+// checksum while it streams in, inflates it when the shuffle is compressed,
+// and retries transient failures with jittered exponential backoff — the
+// single-segment face of the segmentFetcher machinery. wireLen is the
 // payload size moved on the wire for the successful attempt.
 func fetchValidated(addr string, mapIdx, reduce int, compressed bool, plan *faultinject.Plan, bo faultinject.Backoff, st *fetchStats) (seg *kvbuf.Segment, wireLen int64, err error) {
-	var seed int64
-	if plan != nil {
-		seed = plan.Seed
-	}
-	seed ^= int64(mapIdx)*1000003 + int64(reduce)
-	err = bo.Retry(seed, func(attempt int) error {
+	f := &segmentFetcher{addr: addr, reduce: reduce, compressed: compressed, plan: plan, bo: bo, st: st}
+	defer f.closeConn()
+	err = bo.Retry(f.seed(mapIdx), func(attempt int) error {
 		if attempt > 0 {
-			st.retries++
+			f.st.retries++
 		}
-		fault := faultinject.FetchOK
-		if plan != nil {
-			fault = plan.Fetch(reduce, mapIdx, attempt)
-		}
-		switch fault {
-		case faultinject.FetchDrop:
-			st.failures++
-			return faultinject.Errorf("localrun: shuffle map %d -> reduce %d attempt %d: connection dropped", mapIdx, reduce, attempt)
-		case faultinject.FetchSlow:
-			st.slow++
-			time.Sleep(plan.Slowness())
-		}
-		raw, ferr := fetchSegment(addr, mapIdx, reduce)
+		s, n, ferr := f.fetchOne(mapIdx, attempt)
 		if ferr != nil {
-			st.failures++
 			return ferr
 		}
-		data := raw.Bytes()
-		if fault == faultinject.FetchTruncate && len(data) > 0 {
-			data = data[:len(data)-(1+len(data)/16)]
-		}
-		s := kvbuf.SegmentFromBytes(data)
-		if compressed {
-			if s, ferr = kvbuf.CompressedSegmentFromBytes(data).Decompress(); ferr != nil {
-				st.failures++
-				return fmt.Errorf("localrun: shuffle map %d -> reduce %d: %w", mapIdx, reduce, ferr)
-			}
-		}
-		if verr := s.Verify(); verr != nil {
-			st.failures++
-			return fmt.Errorf("localrun: shuffle map %d -> reduce %d: %w", mapIdx, reduce, verr)
-		}
-		seg, wireLen = s, int64(len(data))
+		seg, wireLen = s, n
 		return nil
 	})
 	if err != nil {

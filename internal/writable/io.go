@@ -29,6 +29,10 @@ func NewDataOutput(capacity int) *DataOutput {
 	return &DataOutput{buf: make([]byte, 0, capacity)}
 }
 
+// NewDataOutputOn returns an output that appends into buf's storage,
+// starting empty. Callers use it to recycle buffers across writers.
+func NewDataOutputOn(buf []byte) *DataOutput { return &DataOutput{buf: buf[:0]} }
+
 // Bytes returns the accumulated bytes (not a copy).
 func (o *DataOutput) Bytes() []byte { return o.buf }
 

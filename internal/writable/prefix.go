@@ -1,0 +1,84 @@
+package writable
+
+import "encoding/binary"
+
+// PrefixFunc maps a serialized key to an order-preserving uint64 prefix:
+// prefix(a) < prefix(b) implies the raw comparator orders a before b, and
+// equal prefixes are inconclusive (the caller falls back to the full
+// comparator). Sort hot loops compare the integer first, so most decisions
+// never touch key bytes.
+type PrefixFunc func(key []byte) uint64
+
+// bytesPrefix packs up to the first 8 bytes of payload big-endian,
+// zero-padded: lexicographic byte order maps to uint64 order, with ties only
+// when the first 8 payload bytes agree.
+func bytesPrefix(payload []byte) uint64 {
+	if len(payload) >= 8 {
+		return binary.BigEndian.Uint64(payload)
+	}
+	var p uint64
+	for _, b := range payload {
+		p = p<<8 | uint64(b)
+	}
+	return p << (8 * (8 - uint(len(payload))))
+}
+
+// prefixExtractors holds the per-type extractors. Types whose comparator
+// cannot be prefix-accelerated are simply absent.
+var prefixExtractors = map[string]PrefixFunc{
+	"NullWritable": func([]byte) uint64 { return 0 },
+	"BooleanWritable": func(key []byte) uint64 {
+		if len(key) < 1 {
+			return 0
+		}
+		return uint64(key[0])
+	},
+	"IntWritable": func(key []byte) uint64 {
+		if len(key) < 4 {
+			return 0
+		}
+		// Flip the sign bit so unsigned order matches signed order; shift
+		// into the high bytes so distinct values never tie.
+		return uint64(binary.BigEndian.Uint32(key)^0x80000000) << 32
+	},
+	"LongWritable": func(key []byte) uint64 {
+		if len(key) < 8 {
+			return 0
+		}
+		return binary.BigEndian.Uint64(key) ^ 0x8000000000000000
+	},
+	"VIntWritable":  vlongPrefix,
+	"VLongWritable": vlongPrefix,
+	"BytesWritable": func(key []byte) uint64 {
+		if len(key) < 4 {
+			return 0
+		}
+		return bytesPrefix(key[4:])
+	},
+	"Text": func(key []byte) uint64 {
+		if len(key) < 1 {
+			return 0
+		}
+		n := VIntSize(key[0])
+		if len(key) < n {
+			return 0
+		}
+		return bytesPrefix(key[n:])
+	},
+}
+
+func vlongPrefix(key []byte) uint64 {
+	v, err := NewDataInput(key).ReadVLong()
+	if err != nil {
+		return 0
+	}
+	return uint64(v) ^ 0x8000000000000000
+}
+
+// PrefixExtractor returns the order-preserving prefix extractor for a
+// registered type, or ok=false when the type's comparator cannot be
+// accelerated this way (callers then sort with the full comparator only).
+func PrefixExtractor(name string) (PrefixFunc, bool) {
+	f, ok := prefixExtractors[name]
+	return f, ok
+}
