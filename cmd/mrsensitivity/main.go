@@ -4,9 +4,12 @@
 // and doubled in isolation. Narrow rows mean the calibrated conclusion
 // does not hinge on that constant's exact value.
 //
+// The study's 54 simulation points run on a worker pool (-workers) and are
+// memoized by configuration hash; -cache-dir persists results across runs.
+//
 // Example:
 //
-//	mrsensitivity -size 8
+//	mrsensitivity -size 8 -workers 4
 package main
 
 import (
@@ -15,12 +18,22 @@ import (
 	"os"
 
 	"mrmicro/internal/figures"
+	"mrmicro/internal/simcache"
 )
 
 func main() {
-	size := flag.Float64("size", 8, "reference shuffle size in GB")
+	var (
+		size     = flag.Float64("size", 8, "reference shuffle size in GB")
+		workers  = flag.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "persist simulation results here (default: in-memory only)")
+	)
 	flag.Parse()
-	t, err := figures.SensitivityTable(*size)
+	cache, err := simcache.New(*cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrsensitivity:", err)
+		os.Exit(1)
+	}
+	t, err := figures.SensitivityTable(*size, figures.Options{Workers: *workers, Cache: cache})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mrsensitivity:", err)
 		os.Exit(1)

@@ -1,0 +1,84 @@
+package figures
+
+import (
+	"runtime"
+	"testing"
+
+	"mrmicro/internal/simcache"
+)
+
+// renderAll captures everything a figure emits: the terminal rendering plus
+// each table's CSV (CSV prints full float precision, so it catches drift the
+// rounded rendering would hide).
+func renderAll(t *testing.T, f Figure, o Options) string {
+	t.Helper()
+	out, err := f.Generate(o)
+	if err != nil {
+		t.Fatalf("%s: %v", f.ID, err)
+	}
+	s := out.Render()
+	for _, tb := range out.Tables {
+		s += tb.CSV()
+	}
+	for _, tl := range out.Timelines {
+		s += tl.CSV()
+	}
+	return s
+}
+
+// TestFigureDeterminismAcrossWorkers runs every figure twice — sequentially
+// and on a concurrent worker pool — and requires byte-identical output. This
+// is the contract that makes -workers safe to default on: parallelism must
+// never leak into results.
+func TestFigureDeterminismAcrossWorkers(t *testing.T) {
+	parallel := runtime.GOMAXPROCS(0)
+	if parallel < 2 {
+		parallel = 2 // always exercise the pool path, even on one CPU
+	}
+	for _, f := range All() {
+		f := f
+		t.Run(f.ID, func(t *testing.T) {
+			seq := renderAll(t, f, Options{Quick: true, Workers: 1})
+			par := renderAll(t, f, Options{Quick: true, Workers: parallel})
+			if seq != par {
+				t.Errorf("workers=1 and workers=%d outputs differ:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+					parallel, seq, parallel, par)
+			}
+		})
+	}
+}
+
+// TestFigureDeterminismCachedVsUncached checks that replaying points from
+// the cache yields byte-identical figures, and that the second cached run
+// computes nothing.
+func TestFigureDeterminismCachedVsUncached(t *testing.T) {
+	cache, err := simcache.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fig2a (plain sweep), fig7 (timelines), fig8a (RDMA case study) cover
+	// every PointResult field the figures consume.
+	for _, id := range []string{"fig2a", "fig7", "fig8a"} {
+		f, ok := ByID(id)
+		if !ok {
+			t.Fatalf("figure %s missing", id)
+		}
+		uncached := renderAll(t, f, Options{Quick: true})
+		cold := renderAll(t, f, Options{Quick: true, Cache: cache})
+		preHits, preMisses := cache.Stats()
+		warm := renderAll(t, f, Options{Quick: true, Cache: cache})
+		hits, misses := cache.Stats()
+		if uncached != cold {
+			t.Errorf("%s: cold cached run differs from uncached run", id)
+		}
+		if cold != warm {
+			t.Errorf("%s: warm cached run differs from cold run", id)
+		}
+		if misses != preMisses {
+			t.Errorf("%s: warm run recomputed %d point(s)", id, misses-preMisses)
+		}
+		if hits == preHits {
+			t.Errorf("%s: warm run recorded no cache hits", id)
+		}
+	}
+}

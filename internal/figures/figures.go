@@ -12,6 +12,7 @@ import (
 	"mrmicro/internal/metrics"
 	"mrmicro/internal/microbench"
 	"mrmicro/internal/netsim"
+	"mrmicro/internal/simcache"
 )
 
 // Options tunes a figure run.
@@ -19,6 +20,16 @@ type Options struct {
 	// Quick shrinks the sweeps (for tests and -short benchmarking); the
 	// full sweeps use the paper-scale shuffle sizes.
 	Quick bool
+	// Workers bounds how many sweep points run concurrently; <= 0 means
+	// runtime.GOMAXPROCS(0). Output is byte-identical at any setting.
+	Workers int
+	// Cache, when non-nil, memoizes point results across figures and runs.
+	Cache *simcache.Cache
+}
+
+// runAll executes sweep points through the options' runner.
+func (o Options) runAll(cfgs []microbench.Config) ([]PointResult, error) {
+	return Runner{Workers: o.Workers, Cache: o.Cache}.RunAll(cfgs)
 }
 
 // Output is a regenerated figure.
@@ -108,20 +119,27 @@ func sizeTicks(sizes []float64) []string {
 var clusterANetworks = []netsim.Profile{netsim.OneGigE, netsim.TenGigE, netsim.IPoIBQDR32}
 
 // sweep runs one configuration template across sizes × networks and builds
-// the figure table.
-func sweep(title string, base microbench.Config, sizes []float64, networks []netsim.Profile) (*metrics.Table, error) {
-	table := metrics.NewTable(title, "Shuffle Data Size", "Job Execution Time (seconds)", sizeTicks(sizes))
+// the figure table. The grid is enumerated up front and executed through the
+// runner, so points run concurrently while series assembly stays in
+// enumeration order.
+func sweep(o Options, title string, base microbench.Config, sizes []float64, networks []netsim.Profile) (*metrics.Table, error) {
+	cfgs := make([]microbench.Config, 0, len(networks)*len(sizes))
 	for _, prof := range networks {
-		vals := make([]float64, len(sizes))
-		for i, gbs := range sizes {
+		for _, gbs := range sizes {
 			cfg := base
 			cfg.Network = prof.Name
-			cfg = cfg.WithShuffleSize(gib(gbs))
-			res, err := microbench.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s @%gGB on %s: %w", title, gbs, prof.Name, err)
-			}
-			vals[i] = res.JobSeconds()
+			cfgs = append(cfgs, cfg.WithShuffleSize(gib(gbs)))
+		}
+	}
+	results, err := o.runAll(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", title, err)
+	}
+	table := metrics.NewTable(title, "Shuffle Data Size", "Job Execution Time (seconds)", sizeTicks(sizes))
+	for pi, prof := range networks {
+		vals := make([]float64, len(sizes))
+		for i := range sizes {
+			vals[i] = results[pi*len(sizes)+i].JobSeconds
 		}
 		table.AddSeries(prof.Name, vals)
 	}
@@ -159,7 +177,7 @@ func runFig2(pattern microbench.Pattern) func(Options) (*Output, error) {
 			Slaves:  4, NumMaps: 16, NumReduces: 8,
 			KeySize: 1024, ValueSize: 1024,
 		}
-		t, err := sweep(fmt.Sprintf("Fig. 2 (%s): job execution time by interconnect", pattern), base, sizes, clusterANetworks)
+		t, err := sweep(o, fmt.Sprintf("Fig. 2 (%s): job execution time by interconnect", pattern), base, sizes, clusterANetworks)
 		if err != nil {
 			return nil, err
 		}
@@ -180,7 +198,7 @@ func runFig3(pattern microbench.Pattern) func(Options) (*Output, error) {
 			Slaves:  8, NumMaps: 32, NumReduces: 16,
 			KeySize: 1024, ValueSize: 1024,
 		}
-		t, err := sweep(fmt.Sprintf("Fig. 3 (%s on YARN): job execution time by interconnect", pattern), base, sizes, clusterANetworks)
+		t, err := sweep(o, fmt.Sprintf("Fig. 3 (%s on YARN): job execution time by interconnect", pattern), base, sizes, clusterANetworks)
 		if err != nil {
 			return nil, err
 		}
@@ -201,7 +219,7 @@ func runFig4(kvSize int) func(Options) (*Output, error) {
 			Slaves:  4, NumMaps: 16, NumReduces: 8,
 			KeySize: kvSize, ValueSize: kvSize,
 		}
-		t, err := sweep(fmt.Sprintf("Fig. 4 (MR-AVG, %d-byte key/values)", kvSize), base, sizes, clusterANetworks)
+		t, err := sweep(o, fmt.Sprintf("Fig. 4 (MR-AVG, %d-byte key/values)", kvSize), base, sizes, clusterANetworks)
 		if err != nil {
 			return nil, err
 		}
@@ -214,31 +232,42 @@ func runFig5(o Options) (*Output, error) {
 	if o.Quick {
 		sizes = []float64{2, 4}
 	}
-	table := metrics.NewTable("Fig. 5: MR-AVG with varying number of maps and reduces",
-		"Shuffle Data Size", "Job Execution Time (seconds)", sizeTicks(sizes))
-	for _, prof := range []netsim.Profile{netsim.TenGigE, netsim.IPoIBQDR32} {
-		for _, mr := range []struct{ maps, reduces int }{{4, 2}, {8, 4}} {
-			vals := make([]float64, len(sizes))
-			for i, gbs := range sizes {
-				cfg := microbench.Config{
+	profiles := []netsim.Profile{netsim.TenGigE, netsim.IPoIBQDR32}
+	taskCounts := []struct{ maps, reduces int }{{4, 2}, {8, 4}}
+	var cfgs []microbench.Config
+	for _, prof := range profiles {
+		for _, mr := range taskCounts {
+			for _, gbs := range sizes {
+				cfgs = append(cfgs, microbench.Config{
 					Pattern: microbench.MRAvg,
 					Engine:  microbench.EngineMRv1,
 					Cluster: microbench.ClusterA,
 					Slaves:  4, NumMaps: mr.maps, NumReduces: mr.reduces,
 					KeySize: 1024, ValueSize: 1024,
 					Network: prof.Name,
-				}.WithShuffleSize(gib(gbs))
-				res, err := microbench.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				vals[i] = res.JobSeconds()
+				}.WithShuffleSize(gib(gbs)))
+			}
+		}
+	}
+	results, err := o.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	table := metrics.NewTable("Fig. 5: MR-AVG with varying number of maps and reduces",
+		"Shuffle Data Size", "Job Execution Time (seconds)", sizeTicks(sizes))
+	k := 0
+	for _, prof := range profiles {
+		for _, mr := range taskCounts {
+			vals := make([]float64, len(sizes))
+			for i := range sizes {
+				vals[i] = results[k].JobSeconds
+				k++
 			}
 			table.AddSeries(fmt.Sprintf("%s-%dM-%dR", prof.Name, mr.maps, mr.reduces), vals)
 		}
 	}
 	var notes []string
-	for _, prof := range []netsim.Profile{netsim.TenGigE, netsim.IPoIBQDR32} {
+	for _, prof := range profiles {
 		small, _ := table.SeriesByName(fmt.Sprintf("%s-4M-2R", prof.Name))
 		big, _ := table.SeriesByName(fmt.Sprintf("%s-8M-4R", prof.Name))
 		imp := metrics.ImprovementPct(small, big)
@@ -261,7 +290,7 @@ func runFig6(dataType string) func(Options) (*Output, error) {
 			KeySize: 1024, ValueSize: 1024,
 			DataType: dataType,
 		}
-		t, err := sweep(fmt.Sprintf("Fig. 6 (MR-RAND, %s)", dataType), base, sizes, clusterANetworks)
+		t, err := sweep(o, fmt.Sprintf("Fig. 6 (MR-RAND, %s)", dataType), base, sizes, clusterANetworks)
 		if err != nil {
 			return nil, err
 		}
@@ -274,9 +303,9 @@ func runFig7(o Options) (*Output, error) {
 	if o.Quick {
 		size = 2.0
 	}
-	out := &Output{}
-	for _, prof := range clusterANetworks {
-		cfg := microbench.Config{
+	cfgs := make([]microbench.Config, len(clusterANetworks))
+	for i, prof := range clusterANetworks {
+		cfgs[i] = microbench.Config{
 			Pattern: microbench.MRAvg,
 			Engine:  microbench.EngineMRv1,
 			Cluster: microbench.ClusterA,
@@ -285,10 +314,14 @@ func runFig7(o Options) (*Output, error) {
 			Network:         prof.Name,
 			MonitorInterval: time.Second,
 		}.WithShuffleSize(gib(size))
-		res, err := microbench.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := o.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{}
+	for i, prof := range clusterANetworks {
+		res := results[i]
 		// The paper reports one slave node; sample slave 0.
 		cpu := &metrics.Timeline{Title: fmt.Sprintf("Fig. 7(a) CPU utilization, %s", prof.Name), YLabel: "CPU %"}
 		net := &metrics.Timeline{Title: fmt.Sprintf("Fig. 7(b) network throughput, %s", prof.Name), YLabel: "MB/s received"}
@@ -299,7 +332,7 @@ func runFig7(o Options) (*Output, error) {
 		}
 		out.Timelines = append(out.Timelines, cpu, net)
 		out.Notes = append(out.Notes, fmt.Sprintf("%s peak network rx = %.0f MB/s (paper: 1GigE~110, 10GigE~520, QDR~950)",
-			prof.Name, res.PeakRxMBps()))
+			prof.Name, res.PeakRxMBps))
 	}
 	return out, nil
 }
@@ -310,20 +343,18 @@ func runFig8(slaves int) func(Options) (*Output, error) {
 		if o.Quick {
 			sizes = []float64{4, 8}
 		}
-		table := metrics.NewTable(
-			fmt.Sprintf("Fig. 8: IPoIB (56Gbps) vs RDMA (56Gbps), %d slaves", slaves),
-			"Shuffle Data Size", "Job Execution Time (seconds)", sizeTicks(sizes))
-		for _, mode := range []struct {
+		modes := []struct {
 			name    string
 			network string
 			rdma    bool
 		}{
 			{"IPoIB(56Gbps)", netsim.IPoIBFDR56.Name, false},
 			{"RDMA(56Gbps)", netsim.RDMAFDR56.Name, true},
-		} {
-			vals := make([]float64, len(sizes))
-			for i, gbs := range sizes {
-				cfg := microbench.Config{
+		}
+		var cfgs []microbench.Config
+		for _, mode := range modes {
+			for _, gbs := range sizes {
+				cfgs = append(cfgs, microbench.Config{
 					Pattern: microbench.MRAvg,
 					Engine:  microbench.EngineMRv1,
 					Cluster: microbench.ClusterB,
@@ -331,12 +362,20 @@ func runFig8(slaves int) func(Options) (*Output, error) {
 					KeySize: 1024, ValueSize: 1024,
 					Network:     mode.network,
 					RDMAShuffle: mode.rdma,
-				}.WithShuffleSize(gib(gbs))
-				res, err := microbench.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				vals[i] = res.JobSeconds()
+				}.WithShuffleSize(gib(gbs)))
+			}
+		}
+		results, err := o.runAll(cfgs)
+		if err != nil {
+			return nil, err
+		}
+		table := metrics.NewTable(
+			fmt.Sprintf("Fig. 8: IPoIB (56Gbps) vs RDMA (56Gbps), %d slaves", slaves),
+			"Shuffle Data Size", "Job Execution Time (seconds)", sizeTicks(sizes))
+		for mi, mode := range modes {
+			vals := make([]float64, len(sizes))
+			for i := range sizes {
+				vals[i] = results[mi*len(sizes)+i].JobSeconds
 			}
 			table.AddSeries(mode.name, vals)
 		}
@@ -361,7 +400,7 @@ func runSummary(o Options) (*Output, error) {
 		Slaves:  4, NumMaps: 16, NumReduces: 8,
 		KeySize: 1024, ValueSize: 1024,
 	}
-	t, err := sweep("Summary reference sweep (MR-AVG)", base, sizes, clusterANetworks)
+	t, err := sweep(o, "Summary reference sweep (MR-AVG)", base, sizes, clusterANetworks)
 	if err != nil {
 		return nil, err
 	}

@@ -43,38 +43,44 @@ type SensitivityResult struct {
 // each cost-model constant: each knob is halved and doubled while the rest
 // stay calibrated. Small spreads mean the conclusion does not hinge on the
 // exact constant.
-func Sensitivity(shuffleGB float64) ([]SensitivityResult, error) {
-	improvement := func(m *costmodel.Model) (float64, error) {
-		var times [2]float64
-		for i, prof := range []netsim.Profile{netsim.OneGigE, netsim.IPoIBQDR32} {
-			cfg := microbench.Config{
-				Pattern: microbench.MRAvg,
-				Slaves:  4, NumMaps: 16, NumReduces: 8,
-				KeySize: 1024, ValueSize: 1024,
-				Network: prof.Name,
-				Model:   m,
-			}.WithShuffleSize(gib(shuffleGB))
-			res, err := microbench.Run(cfg)
-			if err != nil {
-				return 0, err
+func Sensitivity(shuffleGB float64, o Options) ([]SensitivityResult, error) {
+	// Flatten the knob × factor × profile grid into one point list so the
+	// whole study runs through the (possibly concurrent, cached) runner.
+	// Layout: for each knob, for each factor, the 1GigE then QDR point.
+	knobs := Knobs()
+	factors := []float64{0.5, 1.0, 2.0}
+	profiles := []netsim.Profile{netsim.OneGigE, netsim.IPoIBQDR32}
+	var cfgs []microbench.Config
+	for _, k := range knobs {
+		for _, f := range factors {
+			m := costmodel.Default()
+			k.Set(m, f)
+			for _, prof := range profiles {
+				cfgs = append(cfgs, microbench.Config{
+					Pattern: microbench.MRAvg,
+					Slaves:  4, NumMaps: 16, NumReduces: 8,
+					KeySize: 1024, ValueSize: 1024,
+					Network: prof.Name,
+					Model:   m,
+				}.WithShuffleSize(gib(shuffleGB)))
 			}
-			times[i] = res.JobSeconds()
 		}
-		return 100 * (times[0] - times[1]) / times[0], nil
+	}
+	points, err := o.runAll(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("sensitivity: %w", err)
 	}
 
 	var out []SensitivityResult
-	for _, k := range Knobs() {
+	k := 0
+	for _, knob := range knobs {
 		var r SensitivityResult
-		r.Knob = k.Name
-		for i, f := range []float64{0.5, 1.0, 2.0} {
-			m := costmodel.Default()
-			k.Set(m, f)
-			imp, err := improvement(m)
-			if err != nil {
-				return nil, fmt.Errorf("sensitivity %s x%v: %w", k.Name, f, err)
-			}
-			r.ImprovementAt[i] = imp
+		r.Knob = knob.Name
+		for i := range factors {
+			oneGigE := points[k].JobSeconds
+			qdr := points[k+1].JobSeconds
+			k += 2
+			r.ImprovementAt[i] = 100 * (oneGigE - qdr) / oneGigE
 		}
 		out = append(out, r)
 	}
@@ -82,8 +88,8 @@ func Sensitivity(shuffleGB float64) ([]SensitivityResult, error) {
 }
 
 // SensitivityTable renders the study as a metrics table.
-func SensitivityTable(shuffleGB float64) (*metrics.Table, error) {
-	results, err := Sensitivity(shuffleGB)
+func SensitivityTable(shuffleGB float64, o Options) (*metrics.Table, error) {
+	results, err := Sensitivity(shuffleGB, o)
 	if err != nil {
 		return nil, err
 	}

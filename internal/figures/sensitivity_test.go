@@ -9,7 +9,7 @@ func TestSensitivityRobustness(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs dozens of sims")
 	}
-	results, err := Sensitivity(2)
+	results, err := Sensitivity(2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestSensitivityTableShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs dozens of sims")
 	}
-	tb, err := SensitivityTable(1)
+	tb, err := SensitivityTable(1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

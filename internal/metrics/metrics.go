@@ -202,6 +202,16 @@ func (tl *Timeline) Render() string {
 	return b.String()
 }
 
+// CSV renders the timeline as two-column CSV with a header row.
+func (tl *Timeline) CSV() string {
+	var b strings.Builder
+	b.WriteString("second,value\n")
+	for _, p := range tl.Points {
+		fmt.Fprintf(&b, "%g,%g\n", p.Second, p.Value)
+	}
+	return b.String()
+}
+
 // Peak returns the timeline's maximum value.
 func (tl *Timeline) Peak() float64 {
 	max := 0.0

@@ -19,6 +19,17 @@ type Flow struct {
 	rate      float64 // bytes/sec, set by the allocator
 	Done      *sim.Future
 	started   sim.Time
+
+	// Transient water-filling state, valid only inside reallocate.
+	links  [2]*link
+	frozen bool
+}
+
+// link is one direction of an endpoint's NIC during water-filling.
+type link struct {
+	residual float64
+	flows    []*Flow
+	active   int // flows not yet frozen at a fair share
 }
 
 // Rate returns the flow's current allocated rate in bytes/sec.
@@ -42,7 +53,12 @@ type Fabric struct {
 	profile Profile
 	n       int
 
-	flows    map[*Flow]struct{}
+	// flows holds active flows in start order. Iteration order is load-
+	// bearing: rate allocation, counter accumulation, and completion all
+	// walk this slice, so keeping it deterministic (never a pointer-keyed
+	// map, whose order varies with allocation addresses) is what makes
+	// simulation results reproducible regardless of process history.
+	flows    []*Flow
 	counters []Counters
 	lastSync sim.Time
 	timerGen int // invalidates stale completion timers
@@ -57,7 +73,6 @@ func NewFabric(e *sim.Engine, profile Profile, n int) *Fabric {
 		eng:      e,
 		profile:  profile,
 		n:        n,
-		flows:    make(map[*Flow]struct{}),
 		counters: make([]Counters, n),
 		lastSync: e.Now(),
 	}
@@ -98,7 +113,7 @@ func (f *Fabric) StartFlow(src, dst int, bytes int64) *Flow {
 		return fl
 	}
 	f.sync()
-	f.flows[fl] = struct{}{}
+	f.flows = append(f.flows, fl)
 	f.reallocate()
 	f.reschedule()
 	return fl
@@ -129,7 +144,7 @@ func (f *Fabric) sync() {
 		f.lastSync = now
 		return
 	}
-	for fl := range f.flows {
+	for _, fl := range f.flows {
 		moved := fl.rate * dt
 		if moved > fl.remaining {
 			moved = fl.remaining
@@ -147,45 +162,47 @@ func (f *Fabric) reallocate() {
 	if len(f.flows) == 0 {
 		return
 	}
-	type link struct {
-		residual float64
-		flows    map[*Flow]struct{}
-	}
 	links := make(map[[2]int]*link) // key: {endpoint, dir}; dir 0=egress 1=ingress
+	var order []*link               // links in first-use order, for deterministic scans
 	get := func(ep, dir int) *link {
 		k := [2]int{ep, dir}
 		l, ok := links[k]
 		if !ok {
-			l = &link{residual: f.profile.Bandwidth, flows: make(map[*Flow]struct{})}
+			l = &link{residual: f.profile.Bandwidth}
 			links[k] = l
+			order = append(order, l)
 		}
 		return l
 	}
-	unfrozen := make(map[*Flow][]*link, len(f.flows))
-	for fl := range f.flows {
+	for _, fl := range f.flows {
 		out, in := get(fl.Src, 0), get(fl.Dst, 1)
-		out.flows[fl] = struct{}{}
-		in.flows[fl] = struct{}{}
-		unfrozen[fl] = []*link{out, in}
+		out.flows = append(out.flows, fl)
+		out.active++
+		in.flows = append(in.flows, fl)
+		in.active++
+		fl.links = [2]*link{out, in}
+		fl.frozen = false
 	}
 	// Incast/contention degradation: a link shared by n flows loses a
 	// profile-dependent fraction of its capacity (see Profile.Congestion).
 	if c := f.profile.Congestion; c > 0 {
-		for _, l := range links {
+		for _, l := range order {
 			if n := len(l.flows); n > 1 {
 				l.residual *= 1 - c*(1-1/float64(n))
 			}
 		}
 	}
-	for len(unfrozen) > 0 {
-		// Find the bottleneck link: minimum residual fair share.
+	for remaining := len(f.flows); remaining > 0; {
+		// Find the bottleneck link: minimum residual fair share. Ties go to
+		// the earliest-created link, so the fill order never depends on map
+		// iteration.
 		minShare := math.Inf(1)
 		var bottleneck *link
-		for _, l := range links {
-			if len(l.flows) == 0 {
+		for _, l := range order {
+			if l.active == 0 {
 				continue
 			}
-			share := l.residual / float64(len(l.flows))
+			share := l.residual / float64(l.active)
 			if share < minShare {
 				minShare = share
 				bottleneck = l
@@ -195,18 +212,22 @@ func (f *Fabric) reallocate() {
 			break
 		}
 		// Freeze every flow on the bottleneck at the fair share.
-		for fl := range bottleneck.flows {
+		for _, fl := range bottleneck.flows {
+			if fl.frozen {
+				continue
+			}
 			fl.rate = minShare
-			for _, l := range unfrozen[fl] {
+			fl.frozen = true
+			remaining--
+			for _, l := range fl.links {
 				if l != bottleneck {
 					l.residual -= minShare
 					if l.residual < 0 {
 						l.residual = 0
 					}
 				}
-				delete(l.flows, fl)
+				l.active--
 			}
-			delete(unfrozen, fl)
 		}
 		bottleneck.residual = 0
 	}
@@ -220,7 +241,7 @@ func (f *Fabric) reschedule() {
 		return
 	}
 	minT := math.Inf(1)
-	for fl := range f.flows {
+	for _, fl := range f.flows {
 		if fl.rate <= 0 {
 			continue
 		}
@@ -246,18 +267,21 @@ func (f *Fabric) complete() {
 	f.sync()
 	const eps = 1e-3 // bytes; float drift guard
 	var done []*Flow
-	for fl := range f.flows {
-		if fl.remaining <= eps {
-			done = append(done, fl)
+	n := len(f.flows)
+	keep := f.flows[:0]
+	for _, fl := range f.flows {
+		if fl.remaining > eps {
+			keep = append(keep, fl)
+			continue
 		}
-	}
-	for _, fl := range done {
 		// Credit any residual epsilon so counters conserve bytes exactly.
 		f.counters[fl.Src].TxBytes += fl.remaining
 		f.counters[fl.Dst].RxBytes += fl.remaining
 		fl.remaining = 0
-		delete(f.flows, fl)
+		done = append(done, fl)
 	}
+	clear(f.flows[len(keep):n])
+	f.flows = keep
 	if len(f.flows) > 0 {
 		f.reallocate()
 	}

@@ -106,13 +106,12 @@ func newStaticFabric(prof Profile, nodes int, flows [][2]int) *staticFabric {
 	f := &Fabric{
 		profile:  prof,
 		n:        nodes,
-		flows:    map[*Flow]struct{}{},
 		counters: make([]Counters, nodes),
 	}
 	out := &staticFabric{}
 	for _, fl := range flows {
 		flow := &Flow{Src: fl[0], Dst: fl[1], Bytes: 1, remaining: 1}
-		f.flows[flow] = struct{}{}
+		f.flows = append(f.flows, flow)
 		out.order = append(out.order, flow)
 	}
 	f.reallocate()

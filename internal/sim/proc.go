@@ -5,10 +5,16 @@ import "fmt"
 // Proc is a simulated process: a goroutine whose execution is interleaved
 // with virtual time by the engine. All Proc methods must be called from the
 // process's own goroutine.
+//
+// Control transfer uses a single unbuffered channel per process. The engine
+// and the process strictly alternate — exactly one of them runs at a time —
+// so the same channel safely carries both directions: the engine sends to
+// resume the process, the process sends to yield back. That is one handoff
+// per direction, with no shared yield channel contended across processes.
 type Proc struct {
 	eng    *Engine
 	name   string
-	resume chan struct{}
+	gate   chan struct{}
 	parked bool
 	dead   bool
 }
@@ -16,33 +22,31 @@ type Proc struct {
 // Go starts a new process running fn. The process begins executing at the
 // current virtual time (after already-queued events for this instant).
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
-	e.nprocs++
-	e.Schedule(0, func() {
-		go func() {
-			<-p.resume
-			fn(p)
-			p.dead = true
-			e.nprocs--
-			e.yielded <- struct{}{}
-		}()
-		p.dispatch()
-	})
+	p := &Proc{eng: e, name: name, gate: make(chan struct{})}
+	e.addProc(p)
+	go func() {
+		<-p.gate
+		fn(p)
+		p.dead = true
+		e.removeProc(p)
+		p.gate <- struct{}{}
+	}()
+	e.scheduleProc(0, p)
 	return p
 }
 
 // dispatch hands control to the process and waits until it yields back.
 // Called from event context only.
 func (p *Proc) dispatch() {
-	p.resume <- struct{}{}
-	<-p.eng.yielded
+	p.gate <- struct{}{}
+	<-p.gate
 }
 
 // park suspends the process until some other activity unparks it.
 func (p *Proc) park() {
 	p.parked = true
-	p.eng.yielded <- struct{}{}
-	<-p.resume
+	p.gate <- struct{}{}
+	<-p.gate
 }
 
 // unpark schedules the process to resume at the current virtual time.
@@ -52,7 +56,7 @@ func (p *Proc) unpark() {
 		panic(fmt.Sprintf("sim: unpark of non-parked process %q", p.name))
 	}
 	p.parked = false
-	p.eng.Schedule(0, p.dispatch)
+	p.eng.scheduleProc(0, p)
 }
 
 // Name returns the process's diagnostic name.
@@ -64,16 +68,13 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.eng.now }
 
-// Sleep suspends the process for d virtual nanoseconds.
+// Sleep suspends the process for d virtual nanoseconds. Negative durations
+// sleep zero time but still yield, so same-instant events queued before us
+// run in deterministic order.
 func (p *Proc) Sleep(d Time) {
-	if d <= 0 {
-		// Still yield so that same-instant events queued before us run in
-		// deterministic order.
-		d = 0
-	}
-	p.eng.Schedule(d, func() { p.dispatch() })
-	p.eng.yielded <- struct{}{}
-	<-p.resume
+	p.eng.scheduleProc(d, p)
+	p.gate <- struct{}{}
+	<-p.gate
 }
 
 // Yield gives other same-instant events a chance to run.

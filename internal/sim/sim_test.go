@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 )
@@ -335,13 +336,23 @@ func TestDeterminism(t *testing.T) {
 
 func TestDeadlockPanics(t *testing.T) {
 	defer func() {
-		if recover() == nil {
-			t.Error("expected deadlock panic")
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		// The panic must name the stuck processes, not just count them —
+		// that is what makes a hung sweep point debuggable.
+		msg := fmt.Sprint(r)
+		for _, want := range []string{"2 process(es)", "stuck-a", "stuck-b"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("deadlock panic %q missing %q", msg, want)
+			}
 		}
 	}()
 	e := NewEngine()
 	f := NewFuture()
-	e.Go("stuck", func(p *Proc) { f.Wait(p) })
+	e.Go("stuck-a", func(p *Proc) { f.Wait(p) })
+	e.Go("stuck-b", func(p *Proc) { f.Wait(p) })
 	e.Run()
 }
 

@@ -1,0 +1,132 @@
+// Package simcache memoizes simulation results by content hash.
+//
+// Every sweep point the experiment plane runs is a pure function of its
+// configuration: the simulated engines are deterministic, so two points with
+// the same normalized Config produce bit-identical results. The cache
+// exploits that by keying each point on a SHA-256 hash of the canonical JSON
+// encoding of everything the simulation reads (engine kind, network profile,
+// job spec parameters, fault plan, cost model) plus a schema tag that callers
+// bump whenever a code change alters what a cached value means.
+//
+// Lookups go to an in-memory map first and then, when the cache was opened
+// with a directory, to one flat JSON file per key. Disk entries are written
+// atomically (temp file + rename) and are re-verified on read: an entry that
+// fails to decode — corrupted, truncated, or written by an older schema — is
+// treated as a miss so the point is recomputed rather than poisoning results.
+package simcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Key returns the cache key for v: the hex SHA-256 of its JSON encoding.
+// encoding/json is canonical for cache purposes — struct fields encode in
+// declaration order and map keys are sorted — so equal values always hash
+// equal.
+func Key(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("simcache: key: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Cache is a two-level (memory, optional disk) memo table. It is safe for
+// concurrent use by the sweep runner's workers.
+type Cache struct {
+	dir string // "" = memory only
+
+	mu  sync.RWMutex
+	mem map[string][]byte
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// New opens a cache. With dir == "" the cache is memory-only (results are
+// shared within the process); otherwise entries also persist under dir, which
+// is created if needed.
+func New(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("simcache: %w", err)
+		}
+	}
+	return &Cache{dir: dir, mem: make(map[string][]byte)}, nil
+}
+
+// Get looks key up and, on a hit, decodes the stored value into out (which
+// must be a pointer). A disk entry that cannot be decoded counts as a miss:
+// the caller recomputes and overwrites it.
+func (c *Cache) Get(key string, out any) bool {
+	c.mu.RLock()
+	b, ok := c.mem[key]
+	c.mu.RUnlock()
+	if !ok && c.dir != "" {
+		disk, err := os.ReadFile(c.path(key))
+		if err == nil && json.Valid(disk) {
+			b, ok = disk, true
+			c.mu.Lock()
+			c.mem[key] = disk
+			c.mu.Unlock()
+		}
+	}
+	if ok && json.Unmarshal(b, out) == nil {
+		c.hits.Add(1)
+		return true
+	}
+	c.misses.Add(1)
+	return false
+}
+
+// Put stores v under key in memory and, when the cache is disk-backed, as a
+// JSON file written atomically. Disk write failures are returned but leave
+// the in-memory entry intact, so a read-only cache directory degrades to a
+// per-process memo instead of failing the sweep.
+func (c *Cache) Put(key string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("simcache: put: %w", err)
+	}
+	c.mu.Lock()
+	c.mem[key] = b
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("simcache: put: %w", err)
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: put: write %s: %v/%v", key, werr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: put: %w", err)
+	}
+	return nil
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Dir returns the backing directory ("" for memory-only caches).
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

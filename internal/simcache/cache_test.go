@@ -1,0 +1,132 @@
+package simcache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	Name string
+	Vals []float64
+}
+
+func TestKeyStability(t *testing.T) {
+	a1, err := Key(payload{Name: "x", Vals: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := Key(payload{Name: "x", Vals: []float64{1, 2}})
+	b, _ := Key(payload{Name: "x", Vals: []float64{1, 3}})
+	if a1 != a2 {
+		t.Errorf("equal values hash differently: %s vs %s", a1, a2)
+	}
+	if a1 == b {
+		t.Error("distinct values collide")
+	}
+	if len(a1) != 64 {
+		t.Errorf("key length = %d, want 64 hex chars", len(a1))
+	}
+}
+
+func TestMemoryHitMiss(t *testing.T) {
+	c, err := New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := Key(payload{Name: "p"})
+	var got payload
+	if c.Get(key, &got) {
+		t.Fatal("hit on empty cache")
+	}
+	want := payload{Name: "p", Vals: []float64{3.5}}
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(key, &got) {
+		t.Fatal("miss after Put")
+	}
+	if got.Name != want.Name || len(got.Vals) != 1 || got.Vals[0] != 3.5 {
+		t.Errorf("decoded %+v, want %+v", got, want)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := Key("disk-entry")
+	if err := c1.Put(key, payload{Name: "persisted"}); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh cache over the same directory must see the entry.
+	c2, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if !c2.Get(key, &got) || got.Name != "persisted" {
+		t.Fatalf("disk entry not replayed: ok=%v got=%+v", got.Name == "persisted", got)
+	}
+	hits, misses := c2.Stats()
+	if hits != 1 || misses != 0 {
+		t.Errorf("stats = %d/%d, want 1 hit, 0 misses", hits, misses)
+	}
+}
+
+func TestCorruptedDiskEntryFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	c1, _ := New(dir)
+	key, _ := Key("to-corrupt")
+	if err := c1.Put(key, payload{Name: "good", Vals: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+".json")
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, junk := range map[string][]byte{
+		"truncated":   full[:len(full)/2],
+		"garbage":     []byte("\x00\xffnot json"),
+		"wrong-shape": []byte(`"a bare string"`),
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, junk, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			c2, _ := New(dir) // fresh cache: no in-memory copy to mask the damage
+			var got payload
+			if c2.Get(key, &got) {
+				t.Fatalf("corrupted entry served as a hit: %+v", got)
+			}
+			if hits, misses := c2.Stats(); hits != 0 || misses != 1 {
+				t.Errorf("stats = %d/%d, want 0 hits, 1 miss", hits, misses)
+			}
+			// The recompute path overwrites the bad entry.
+			if err := c2.Put(key, payload{Name: "recomputed"}); err != nil {
+				t.Fatal(err)
+			}
+			if !c2.Get(key, &got) || got.Name != "recomputed" {
+				t.Errorf("overwrite after corruption not visible: %+v", got)
+			}
+		})
+	}
+}
+
+func TestMemoryOnlyCacheWritesNoFiles(t *testing.T) {
+	c, _ := New("")
+	key, _ := Key("mem")
+	if err := c.Put(key, payload{Name: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Dir() != "" {
+		t.Errorf("Dir() = %q, want empty", c.Dir())
+	}
+}
