@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"mrmicro/internal/cliutil"
@@ -50,7 +51,9 @@ func main() {
 		traceF   = flag.String("trace", "", "write a Chrome trace-event JSON of the job to this file")
 		local    = flag.Bool("local", false, "execute for real in-process (small scale) instead of simulating")
 		copiesF  = flag.Int("parallelcopies", 0, "concurrent shuffle fetch connections per reduce task (default 5, Hadoop's mapreduce.reduce.shuffle.parallelcopies)")
+		slowF    = flag.Float64("slowstart", 0, "completed-map fraction before reducers launch, for both the sim and the real executor (default 0.05, Hadoop's mapreduce.job.reduce.slowstart.completedmaps; 1.0 = strict barrier)")
 		benchF   = flag.String("bench-json", "", "write machine-readable local-execution throughput results to this file (implies -local)")
+		benchN   = flag.Int("bench-reps", 5, "repetitions per configuration for -bench-json medians")
 
 		faultSeed    = flag.Int64("fault-seed", 0, "seed for injected faults (default: -seed)")
 		faultMap     = flag.Float64("fault-map-rate", 0, "probability a map attempt dies mid-shuffle-registration")
@@ -78,6 +81,7 @@ func main() {
 		Seed:           *seed,
 		RDMAShuffle:    *rdma,
 		ParallelCopies: *copiesF,
+		Slowstart:      *slowF,
 	}
 	if *monitor {
 		cfg.MonitorInterval = time.Second
@@ -107,7 +111,7 @@ func main() {
 	}
 
 	if *local || *benchF != "" {
-		runLocal(cfg, *benchF)
+		runLocal(cfg, *benchF, *benchN)
 		return
 	}
 	res, err := microbench.Run(cfg)
@@ -131,7 +135,9 @@ func main() {
 	}
 }
 
-func runLocal(cfg microbench.Config, benchPath string) {
+// localOnce builds and executes one real run of cfg, returning the result
+// and its wall time.
+func localOnce(cfg microbench.Config) (*localrun.Result, time.Duration) {
 	job, err := microbench.BuildJob(cfg)
 	if err != nil {
 		fatal(err)
@@ -141,16 +147,23 @@ func runLocal(cfg microbench.Config, benchPath string) {
 	if err != nil {
 		fatal(err)
 	}
-	elapsed := time.Since(start)
+	return res, time.Since(start)
+}
+
+func runLocal(cfg microbench.Config, benchPath string, reps int) {
+	res, elapsed := localOnce(cfg)
 	fmt.Printf("=== %s micro-benchmark (REAL execution via localrun) ===\n", cfg.Pattern)
 	fmt.Printf("maps/reduces        %d / %d\n", res.NumMaps, res.NumReduces)
 	fmt.Printf("wall time           %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  map phase         %v (to last map commit)\n", res.MapPhase.Round(time.Millisecond))
+	fmt.Printf("  shuffle overlap   %v (reducers running under map waves)\n", res.OverlapWindow.Round(time.Millisecond))
+	fmt.Printf("  reduce tail       %v (after last map commit)\n", res.ReduceTail.Round(time.Millisecond))
 	fmt.Printf("counters:\n%s", res.Counters)
 	if cfg.Faults != nil {
 		fmt.Print(metrics.RenderKV("injected faults survived:", faultKVs(res.Counters)))
 	}
 	if benchPath != "" {
-		if err := writeBenchJSON(benchPath, cfg, res, elapsed); err != nil {
+		if err := writeBenchJSON(benchPath, cfg, reps); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("\nwrote benchmark results to %s\n", benchPath)
@@ -168,34 +181,95 @@ type benchReport struct {
 }
 
 type benchConfig struct {
-	Pattern        string `json:"pattern"`
-	DataType       string `json:"datatype"`
-	KeySize        int    `json:"key_size"`
-	ValueSize      int    `json:"value_size"`
-	PairsPerMap    int64  `json:"pairs_per_map"`
-	NumMaps        int    `json:"maps"`
-	NumReduces     int    `json:"reduces"`
-	ParallelCopies int    `json:"parallel_copies"`
+	Pattern        string  `json:"pattern"`
+	DataType       string  `json:"datatype"`
+	KeySize        int     `json:"key_size"`
+	ValueSize      int     `json:"value_size"`
+	PairsPerMap    int64   `json:"pairs_per_map"`
+	NumMaps        int     `json:"maps"`
+	NumReduces     int     `json:"reduces"`
+	ParallelCopies int     `json:"parallel_copies"`
+	Slowstart      float64 `json:"slowstart"`
+	Reps           int     `json:"reps"`
 }
 
+// benchResults reports medians over the configured repetitions, with the
+// overlapped schedule's phase split and a barrier (slowstart=1.0) baseline
+// measured in the same process so the overlap win is a single number.
 type benchResults struct {
-	WallMS          float64 `json:"wall_ms"`
-	MapOutputRecs   int64   `json:"map_output_records"`
-	RecordsPerSec   float64 `json:"records_per_sec"`
-	ShuffleBytes    int64   `json:"shuffle_bytes"`
-	ShuffleMBPerSec float64 `json:"shuffle_mb_per_sec"`
-	SpilledRecords  int64   `json:"spilled_records"`
-	ReduceOutRecs   int64   `json:"reduce_output_records"`
+	WallMS           float64 `json:"wall_ms"` // median
+	MapPhaseMS       float64 `json:"map_phase_ms"`
+	OverlapMS        float64 `json:"shuffle_overlap_ms"`
+	ReduceTailMS     float64 `json:"reduce_tail_ms"`
+	BarrierWallMS    float64 `json:"barrier_wall_ms"` // median at slowstart=1.0
+	SpeedupVsBarrier float64 `json:"speedup_vs_barrier"`
+	MapOutputRecs    int64   `json:"map_output_records"`
+	RecordsPerSec    float64 `json:"records_per_sec"`
+	ShuffleBytes     int64   `json:"shuffle_bytes"`
+	ShuffleMBPerSec  float64 `json:"shuffle_mb_per_sec"`
+	SpilledRecords   int64   `json:"spilled_records"`
+	ReduceOutRecs    int64   `json:"reduce_output_records"`
 }
 
-func writeBenchJSON(path string, cfg microbench.Config, res *localrun.Result, elapsed time.Duration) error {
-	secs := elapsed.Seconds()
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func writeBenchJSON(path string, cfg microbench.Config, reps int) error {
+	if reps < 1 {
+		reps = 1
+	}
+	type sample struct{ wall, mapPhase, overlap, tail float64 }
+	measure := func(c microbench.Config) ([]sample, *localrun.Result) {
+		out := make([]sample, reps)
+		var last *localrun.Result
+		for i := range out {
+			res, elapsed := localOnce(c)
+			out[i] = sample{
+				wall:     float64(elapsed.Microseconds()) / 1e3,
+				mapPhase: float64(res.MapPhase.Microseconds()) / 1e3,
+				overlap:  float64(res.OverlapWindow.Microseconds()) / 1e3,
+				tail:     float64(res.ReduceTail.Microseconds()) / 1e3,
+			}
+			last = res
+		}
+		return out, last
+	}
+	pluck := func(s []sample, f func(sample) float64) []float64 {
+		out := make([]float64, len(s))
+		for i := range s {
+			out[i] = f(s[i])
+		}
+		return out
+	}
+
+	overlapped, res := measure(cfg)
+	barrierCfg := cfg
+	barrierCfg.Slowstart = 1.0
+	barrier, _ := measure(barrierCfg)
+
+	wall := median(pluck(overlapped, func(s sample) float64 { return s.wall }))
+	barrierWall := median(pluck(barrier, func(s sample) float64 { return s.wall }))
+	secs := wall / 1e3
 	recs := res.Counters.Task(mapreduce.CtrMapOutputRecords)
 	shuffled := res.Counters.Task(mapreduce.CtrReduceShuffleBytes)
+	speedup := 0.0
+	if wall > 0 {
+		speedup = barrierWall / wall
+	}
 	rep := benchReport{
-		Schema: "mrmicro-localrun-bench/v1",
-		Command: fmt.Sprintf("mrbench -local -pattern %s -datatype %s -keysize %d -valuesize %d -pairs %d -maps %d -reduces %d -parallelcopies %d -bench-json %s",
-			cfg.Pattern, cfg.DataType, cfg.KeySize, cfg.ValueSize, cfg.PairsPerMap, res.NumMaps, res.NumReduces, cfg.ParallelCopies, path),
+		Schema: "mrmicro-localrun-bench/v2",
+		Command: fmt.Sprintf("mrbench -local -pattern %s -datatype %s -keysize %d -valuesize %d -pairs %d -maps %d -reduces %d -parallelcopies %d -slowstart %g -bench-reps %d -bench-json %s",
+			cfg.Pattern, cfg.DataType, cfg.KeySize, cfg.ValueSize, cfg.PairsPerMap, res.NumMaps, res.NumReduces, cfg.ParallelCopies, cfg.Slowstart, reps, path),
 		Config: benchConfig{
 			Pattern:        string(cfg.Pattern),
 			DataType:       cfg.DataType,
@@ -205,15 +279,22 @@ func writeBenchJSON(path string, cfg microbench.Config, res *localrun.Result, el
 			NumMaps:        res.NumMaps,
 			NumReduces:     res.NumReduces,
 			ParallelCopies: cfg.ParallelCopies,
+			Slowstart:      cfg.Slowstart,
+			Reps:           reps,
 		},
 		Results: benchResults{
-			WallMS:          float64(elapsed.Microseconds()) / 1e3,
-			MapOutputRecs:   recs,
-			RecordsPerSec:   float64(recs) / secs,
-			ShuffleBytes:    shuffled,
-			ShuffleMBPerSec: float64(shuffled) / (1 << 20) / secs,
-			SpilledRecords:  res.Counters.Task(mapreduce.CtrSpilledRecords),
-			ReduceOutRecs:   res.Counters.Task(mapreduce.CtrReduceOutputRecords),
+			WallMS:           wall,
+			MapPhaseMS:       median(pluck(overlapped, func(s sample) float64 { return s.mapPhase })),
+			OverlapMS:        median(pluck(overlapped, func(s sample) float64 { return s.overlap })),
+			ReduceTailMS:     median(pluck(overlapped, func(s sample) float64 { return s.tail })),
+			BarrierWallMS:    barrierWall,
+			SpeedupVsBarrier: speedup,
+			MapOutputRecs:    recs,
+			RecordsPerSec:    float64(recs) / secs,
+			ShuffleBytes:     shuffled,
+			ShuffleMBPerSec:  float64(shuffled) / (1 << 20) / secs,
+			SpilledRecords:   res.Counters.Task(mapreduce.CtrSpilledRecords),
+			ReduceOutRecs:    res.Counters.Task(mapreduce.CtrReduceOutputRecords),
 		},
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

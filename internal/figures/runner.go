@@ -28,7 +28,7 @@ type PointResult struct {
 // Bump the version whenever a kernel, engine, or cost-model change alters
 // simulation results: old disk entries then miss instead of resurfacing
 // stale numbers.
-const pointKeySchema = "mrmicro/point/v1"
+const pointKeySchema = "mrmicro/point/v2" // v2: Config gained Slowstart (default 0.05 made explicit)
 
 // pointKey is the hashed identity of a sweep point. Config is normalized
 // (defaults explicit, Model resolved) before hashing, so every spelling of

@@ -1,0 +1,130 @@
+package localrun
+
+import (
+	"sync"
+	"time"
+)
+
+// completionBoard is the job-scoped map-completion event plane — Hadoop's
+// task-completion-events protocol in miniature. Map tasks publish to it when
+// an attempt commits (all partitions registered with the shuffle server),
+// and publish again if a later attempt re-commits after a fault; reduce
+// tasks subscribe to launch on the slow-start threshold and to fetch each
+// map's output as soon as it exists instead of after a global barrier.
+//
+// Every announcement carries a monotonically increasing version. A reducer
+// that fetched map m's output before a re-announcement cannot know whose
+// attempt's bytes it read (the shuffle server's newest-registration-wins
+// rule swaps them in place), so it compares the version it dispatched
+// against the board's latest and re-fetches on any bump.
+type completionBoard struct {
+	mu          sync.Mutex
+	seq         int64
+	completions []mapCompletion
+	committed   int
+	lastCommit  time.Time
+	broadcast   chan struct{} // closed and replaced on every announce
+}
+
+// mapCompletion is one map's published state.
+type mapCompletion struct {
+	Attempt int   // committed attempt id; -1 until the first commit
+	Version int64 // board sequence at the latest announce for this map
+}
+
+func newCompletionBoard(numMaps int) *completionBoard {
+	b := &completionBoard{
+		completions: make([]mapCompletion, numMaps),
+		broadcast:   make(chan struct{}),
+	}
+	for i := range b.completions {
+		b.completions[i].Attempt = -1
+	}
+	return b
+}
+
+// Announce publishes map mapIdx's committed attempt. Announcing the same map
+// again (a retried attempt committing after an earlier commit was
+// invalidated) bumps its version so subscribers re-fetch the fresh bytes.
+func (b *completionBoard) Announce(mapIdx, attempt int) {
+	b.mu.Lock()
+	b.seq++
+	if b.completions[mapIdx].Attempt < 0 {
+		b.committed++
+	}
+	b.completions[mapIdx] = mapCompletion{Attempt: attempt, Version: b.seq}
+	b.lastCommit = time.Now()
+	close(b.broadcast)
+	b.broadcast = make(chan struct{})
+	b.mu.Unlock()
+}
+
+// Seq returns the board's current announcement sequence number.
+func (b *completionBoard) Seq() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// CommittedMaps returns how many distinct maps have at least one committed
+// attempt.
+func (b *completionBoard) CommittedMaps() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.committed
+}
+
+// LastCommit returns the wall-clock time of the most recent announcement
+// (zero before the first).
+func (b *completionBoard) LastCommit() time.Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastCommit
+}
+
+// poll copies the per-map completion state into snap (which must hold
+// numMaps entries) and returns the current sequence number plus a channel
+// that is closed at the next announcement. Subscribers loop: poll, act on
+// the snapshot, then block on the returned channel.
+func (b *completionBoard) poll(snap []mapCompletion) (seq int64, next <-chan struct{}) {
+	b.mu.Lock()
+	copy(snap, b.completions)
+	seq = b.seq
+	next = b.broadcast
+	b.mu.Unlock()
+	return seq, next
+}
+
+// waitCommitted blocks until at least target maps have committed or done
+// closes, reporting whether the target was reached. This is the reduce
+// slow-start gate: target = ceil-ish slowstart fraction of the map count.
+func (b *completionBoard) waitCommitted(target int, done <-chan struct{}) bool {
+	for {
+		b.mu.Lock()
+		reached := b.committed >= target
+		next := b.broadcast
+		b.mu.Unlock()
+		if reached {
+			return true
+		}
+		select {
+		case <-next:
+		case <-done:
+			return false
+		}
+	}
+}
+
+// slowstartTarget converts the slowstart fraction into the completed-map
+// count reducers wait for, matching the simulated engines' JobState
+// semantics: at least one map, at most all of them.
+func slowstartTarget(frac float64, numMaps int) int {
+	t := int(frac * float64(numMaps))
+	if t < 1 {
+		t = 1
+	}
+	if t > numMaps {
+		t = numMaps
+	}
+	return t
+}

@@ -1,0 +1,387 @@
+package localrun
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mrmicro/internal/faultinject"
+	"mrmicro/internal/kvbuf"
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/writable"
+)
+
+func TestSlowstartTarget(t *testing.T) {
+	cases := []struct {
+		frac    float64
+		numMaps int
+		want    int
+	}{
+		{0.05, 100, 5},
+		{0.05, 4, 1}, // clamps up to one map
+		{1.0, 8, 8},  // barrier-equivalent
+		{0.5, 7, 3},  // truncates like mrsim's SlowstartTarget
+		{1.0, 1, 1},
+		{0.99, 1, 1},
+	}
+	for _, c := range cases {
+		if got := slowstartTarget(c.frac, c.numMaps); got != c.want {
+			t.Errorf("slowstartTarget(%v, %d) = %d, want %d", c.frac, c.numMaps, got, c.want)
+		}
+	}
+}
+
+func TestCompletionBoardVersionsAndWait(t *testing.T) {
+	b := newCompletionBoard(3)
+	if got := b.CommittedMaps(); got != 0 {
+		t.Fatalf("fresh board committed = %d", got)
+	}
+	b.Announce(1, 0)
+	b.Announce(0, 0)
+	if got := b.CommittedMaps(); got != 2 {
+		t.Fatalf("committed = %d, want 2", got)
+	}
+	snap := make([]mapCompletion, 3)
+	seq, next := b.poll(snap)
+	if snap[2].Attempt != -1 {
+		t.Error("unannounced map reports a committed attempt")
+	}
+	v1 := snap[1].Version
+	// Re-announcing a retried attempt bumps the version but not the count.
+	b.Announce(1, 1)
+	select {
+	case <-next:
+	default:
+		t.Fatal("announce did not wake the broadcast channel")
+	}
+	seq2, _ := b.poll(snap)
+	if seq2 <= seq {
+		t.Errorf("sequence did not advance: %d -> %d", seq, seq2)
+	}
+	if snap[1].Version <= v1 || snap[1].Attempt != 1 {
+		t.Errorf("re-announce: version %d->%d attempt %d", v1, snap[1].Version, snap[1].Attempt)
+	}
+	if got := b.CommittedMaps(); got != 2 {
+		t.Errorf("re-announce changed committed count: %d", got)
+	}
+
+	// waitCommitted returns once the threshold lands, and aborts on done.
+	ready := make(chan bool)
+	go func() { ready <- b.waitCommitted(3, nil) }()
+	b.Announce(2, 0)
+	if !<-ready {
+		t.Error("waitCommitted(3) returned false after 3 commits")
+	}
+	done := make(chan struct{})
+	go func() { ready <- b.waitCommitted(4, done) }()
+	close(done)
+	if <-ready {
+		t.Error("waitCommitted past numMaps returned true after cancel")
+	}
+}
+
+// TestParallelForFastFail pins the satellite fix: after the first error no
+// further index may be dispatched (in-flight calls finish, the rest never
+// start).
+func TestParallelForFastFail(t *testing.T) {
+	const n, workers = 1000, 4
+	var calls atomic.Int64
+	err := parallelFor(n, workers, func(i int) error {
+		calls.Add(1)
+		return fmt.Errorf("boom at %d", i)
+	})
+	if err == nil {
+		t.Fatal("no error surfaced")
+	}
+	// At most the in-flight set plus one blocked send can run after the
+	// first failure; anything near n means the loop kept dispatching.
+	if got := calls.Load(); got > 2*workers {
+		t.Errorf("dispatched %d calls after first error, want <= %d", got, 2*workers)
+	}
+}
+
+// TestSchedulerFastFail pins the same property on the unified scheduler: a
+// failing map task stops the job from launching the remaining maps.
+func TestSchedulerFastFail(t *testing.T) {
+	text, _ := corpus()
+	job, _ := wordCountJob(text, 16, 2, false)
+	var started atomic.Int64
+	inner := job.Mapper
+	job.Mapper = func() mapreduce.Mapper {
+		m := inner()
+		return mapreduce.MapperFunc(func(k, v writable.Writable, o mapreduce.Collector, rep mapreduce.Reporter) error {
+			if started.Add(1) == 1 {
+				return fmt.Errorf("injected mapper failure")
+			}
+			time.Sleep(time.Millisecond)
+			return m.Map(k, v, o, rep)
+		})
+	}
+	_, err := Run(job, &Options{MapParallelism: 2, ReduceParallelism: 2})
+	if err == nil || !strings.Contains(err.Error(), "injected mapper failure") {
+		t.Fatalf("err = %v, want injected mapper failure", err)
+	}
+	// 16 maps × many records each: if dispatch kept going after the failure
+	// the count would be far larger than the handful of in-flight tasks.
+	if got := started.Load(); got > 16 {
+		t.Errorf("mapper invoked %d times after first error, want a handful", got)
+	}
+}
+
+func TestJobSchedulerAcquireAfterFail(t *testing.T) {
+	s := newJobScheduler()
+	sem := make(chan struct{}, 1)
+	if !s.acquire(sem) {
+		t.Fatal("acquire on a healthy scheduler failed")
+	}
+	<-sem
+	s.fail(fmt.Errorf("first"))
+	s.fail(fmt.Errorf("second")) // first error wins
+	if s.acquire(sem) {
+		t.Error("acquire succeeded after failure")
+	}
+	if len(sem) != 0 {
+		t.Error("slot leaked by post-failure acquire")
+	}
+	if got := s.firstErr(); got == nil || got.Error() != "first" {
+		t.Errorf("firstErr = %v, want first", got)
+	}
+}
+
+// overlapJob is a wordcount with a small io.sort.factor so multi-wave runs
+// exercise the background block merge, not just the streaming fetch.
+func overlapJob(text string, maps, reduces int) (*mapreduce.Job, *mapreduce.MemoryOutput) {
+	job, out := wordCountJob(text, maps, reduces, false)
+	job.Conf.SetInt(mapreduce.ConfIOSortFactor, 2)
+	return job, out
+}
+
+// TestByteIdenticalAcrossSlowstart is the core acceptance invariant: the
+// overlapped schedule must be invisible in the output bytes at every
+// slowstart setting, including with background block merges active.
+func TestByteIdenticalAcrossSlowstart(t *testing.T) {
+	text, _ := corpus()
+	barrier, barrierOut := overlapJob(text, 8, 3)
+	if _, err := Run(barrier, &Options{Slowstart: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	want := renderOutput(barrierOut, 3)
+
+	for _, slow := range []float64{0.05, 0.25, 0.5} {
+		job, out := overlapJob(text, 8, 3)
+		res, err := Run(job, &Options{Slowstart: slow, MapParallelism: 2, ReduceParallelism: 2})
+		if err != nil {
+			t.Fatalf("slowstart=%v: %v", slow, err)
+		}
+		if got := renderOutput(out, 3); got != want {
+			t.Errorf("slowstart=%v output differs from the barrier path", slow)
+		}
+		if got := res.Counters.Task(mapreduce.CtrShuffledMaps); got != 8*3 {
+			t.Errorf("slowstart=%v shuffled maps = %d, want 24", slow, got)
+		}
+	}
+}
+
+// TestByteIdenticalUnderFaults: overlapped schedule + fault injection must
+// still converge to the barrier path's bytes — retried attempts are
+// re-announced and re-fetched.
+func TestByteIdenticalUnderFaults(t *testing.T) {
+	text, _ := corpus()
+	barrier, barrierOut := overlapJob(text, 8, 3)
+	if _, err := Run(barrier, &Options{Slowstart: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	want := renderOutput(barrierOut, 3)
+
+	plan := &faultinject.Plan{
+		Seed:              11,
+		MapFailureRate:    0.25,
+		ReduceFailureRate: 0.10,
+		ShuffleDropRate:   0.10,
+		SpillErrorRate:    0.05,
+	}
+	job, out := overlapJob(text, 8, 3)
+	res, err := Run(job, &Options{Slowstart: 0.05, Faults: plan, FetchBackoff: fastBackoff(), MapParallelism: 2, ReduceParallelism: 2})
+	if err != nil {
+		t.Fatalf("overlapped faulty run did not recover: %v", err)
+	}
+	if got := renderOutput(out, 3); got != want {
+		t.Error("overlapped faulty output differs from the barrier path")
+	}
+	c := res.Counters
+	if c.Fault(mapreduce.CtrMapAttemptsFailed)+c.Fault(mapreduce.CtrShuffleFetchFailures) == 0 {
+		t.Fatal("fault plan injected nothing — the scenario is vacuous")
+	}
+}
+
+// TestOverlapWindowMeasured: on a multi-wave job (maps > parallelism) with an
+// early slow-start, reducers must run concurrently with later map waves and
+// the phase split must record it.
+func TestOverlapWindowMeasured(t *testing.T) {
+	text, want := corpus()
+	job, out := wordCountJob(text, 4, 2, false)
+	slow := job.Mapper
+	job.Mapper = func() mapreduce.Mapper {
+		m := slow()
+		return mapreduce.MapperFunc(func(k, v writable.Writable, o mapreduce.Collector, rep mapreduce.Reporter) error {
+			time.Sleep(200 * time.Microsecond)
+			return m.Map(k, v, o, rep)
+		})
+	}
+	res, err := Run(job, &Options{Slowstart: 0.25, MapParallelism: 1, ReduceParallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectCounts(t, out, 2)
+	for w, n := range want {
+		if got[w] != n {
+			t.Errorf("count[%s] = %d, want %d", w, got[w], n)
+		}
+	}
+	if res.OverlapWindow <= 0 {
+		t.Errorf("OverlapWindow = %v, want > 0: reducers did not overlap the map waves", res.OverlapWindow)
+	}
+	if res.MapPhase <= 0 || res.ReduceTail < 0 {
+		t.Errorf("phase split MapPhase=%v ReduceTail=%v", res.MapPhase, res.ReduceTail)
+	}
+	if res.MapPhase > res.Elapsed {
+		t.Errorf("MapPhase %v exceeds Elapsed %v", res.MapPhase, res.Elapsed)
+	}
+}
+
+// registerWordSegment registers a single-record segment for (mapIdx,
+// partition 0) and returns the payload bytes it serves.
+func registerWordSegment(t *testing.T, s *shuffleServer, mapIdx int, key, val string) *kvbuf.Segment {
+	t.Helper()
+	w := kvbuf.NewWriter(64)
+	w.Append([]byte(key), []byte(val))
+	seg := w.Close()
+	if err := s.Register(mapIdx, 0, seg); err != nil {
+		t.Fatal(err)
+	}
+	return seg
+}
+
+// TestStaleAttemptReFetched drives the completion-events race directly: a
+// reducer fetches map 1's first-attempt bytes, then a "retried" attempt
+// re-registers fresh bytes and re-announces. The coordinator must detect the
+// version bump, re-fetch, invalidate any block merge the stale bytes fed,
+// and emit output containing only the new attempt's records.
+func TestStaleAttemptReFetched(t *testing.T) {
+	s, err := newShuffleServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const maps = 6
+	for m := 0; m < maps; m++ {
+		if m == 1 {
+			registerWordSegment(t, s, m, "key-1", "OLD")
+			continue
+		}
+		registerWordSegment(t, s, m, fmt.Sprintf("key-%d", m), "ok")
+	}
+
+	board := newCompletionBoard(maps)
+	cmp, err := writable.Comparator("Text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// factor 2 with 6 maps enables background block merges, so the stale
+	// fetch can land inside a premerged block that must be invalidated.
+	ss := newStreamShuffle(s.Addr(), maps, 0, 2, false, nil, faultinject.Backoff{}, board, cmp, 2)
+
+	var mu sync.Mutex
+	fetches := map[int]int{}
+	reannounced := make(chan struct{})
+	var once sync.Once
+	ss.onFetch = func(m int) {
+		mu.Lock()
+		fetches[m]++
+		n := fetches[1]
+		mu.Unlock()
+		if m == 1 && n == 1 {
+			// First-attempt bytes landed: swap in the retried attempt's
+			// output (newest-registration-wins) and re-announce.
+			registerWordSegment(t, s, 1, "key-1", "NEW")
+			board.Announce(1, 1)
+			once.Do(func() { close(reannounced) })
+		}
+	}
+
+	for m := 0; m < maps; m++ {
+		board.Announce(m, 0)
+	}
+	res, err := ss.run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-reannounced // the hook must have fired
+
+	mu.Lock()
+	refetches := fetches[1]
+	mu.Unlock()
+	if refetches < 2 {
+		t.Fatalf("map 1 fetched %d times, want >= 2 (stale attempt not re-fetched)", refetches)
+	}
+	var out bytes.Buffer
+	if _, err := kvbuf.MergeStream(cmp, res.parts, func(k, v []byte) error {
+		fmt.Fprintf(&out, "%s=%s\n", k, v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "OLD") {
+		t.Errorf("merged output still carries the stale attempt's bytes:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "key-1=NEW") {
+		t.Errorf("merged output missing the retried attempt's record:\n%s", out.String())
+	}
+	for m := 0; m < maps; m++ {
+		if !res.fetched[m] {
+			t.Errorf("map %d not marked fetched", m)
+		}
+	}
+}
+
+// TestStreamShuffleAborts: a reducer waiting on announcements that will
+// never come must unblock when the job-level done channel closes.
+func TestStreamShuffleAborts(t *testing.T) {
+	s, err := newShuffleServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const maps = 4
+	registerWordSegment(t, s, 0, "k", "v")
+	board := newCompletionBoard(maps)
+	board.Announce(0, 0)
+	cmp, _ := writable.Comparator("Text")
+	ss := newStreamShuffle(s.Addr(), maps, 0, 2, false, nil, faultinject.Backoff{}, board, cmp, 10)
+
+	done := make(chan struct{})
+	result := make(chan error, 1)
+	go func() {
+		_, err := ss.run(done)
+		result <- err
+	}()
+	select {
+	case err := <-result:
+		t.Fatalf("run returned %v before cancellation with 3 maps unannounced", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(done)
+	select {
+	case err := <-result:
+		if err != errShuffleAborted {
+			t.Errorf("err = %v, want errShuffleAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shuffle did not abort after done closed")
+	}
+}

@@ -24,6 +24,14 @@ type Options struct {
 	// defers to the job Conf's value (default 5).
 	ParallelCopies int
 
+	// Slowstart is the completed-map fraction before reduce tasks launch,
+	// Hadoop's mapreduce.job.reduce.slowstart.completedmaps. Reducers then
+	// fetch each map's output as it commits instead of after a global
+	// barrier, hiding copy (and background merge) time under map compute.
+	// Zero defers to the job Conf's value (default 0.05); 1.0 restores the
+	// strict barrier schedule.
+	Slowstart float64
+
 	// Faults enables seeded, deterministic fault injection (nil: nothing
 	// injected). The recovery machinery — bounded task re-execution and
 	// shuffle-fetch retry with backoff — is the same code that guards
@@ -62,6 +70,16 @@ type Result struct {
 	// realized intermediate-data distribution (what the paper's partition
 	// patterns shape).
 	PerReduceRecords []int64
+
+	// Phase split of the overlapped schedule (zero for map-only jobs):
+	// MapPhase spans job start to the last map commit, OverlapWindow is how
+	// long map and reduce attempts ran concurrently within it, and
+	// ReduceTail is the exposed reduce time after the last map commit. The
+	// overlap win shows up as OverlapWindow growing and ReduceTail
+	// shrinking while output bytes stay identical.
+	MapPhase      time.Duration
+	OverlapWindow time.Duration
+	ReduceTail    time.Duration
 }
 
 // Run executes the job to completion and returns its merged counters.
@@ -126,29 +144,75 @@ func Run(job *mapreduce.Job, opts *Options) (*Result, error) {
 	jobID := mapreduce.JobID{Seq: 1}
 	attempts := opts.taskAttempts()
 
-	// Map phase.
-	mapCtrs := make([]*mapreduce.Counters, len(splits))
-	err = parallelFor(len(splits), opts.MapParallelism, func(i int) error {
-		c, err := runMapWithRetry(job, jobID, i, splits[i], cmp, numReduces, server, opts.Faults, attempts)
-		mapCtrs[i] = c
-		return err
-	})
-	if err != nil {
-		return nil, err
+	slowstart := opts.Slowstart
+	if slowstart <= 0 {
+		slowstart = conf.SlowstartMaps()
 	}
-	for _, c := range mapCtrs {
-		total.Merge(c)
+	target := slowstartTarget(slowstart, len(splits))
+
+	// One unified scheduler replaces the old map-barrier-reduce phases: map
+	// and reduce attempts share a pool under separate slot caps, reducers
+	// launching once the slow-start threshold of maps has committed to the
+	// completion board and streaming the rest of their input as it appears.
+	board := newCompletionBoard(len(splits))
+	sched := newJobScheduler()
+	mapSlots := make(chan struct{}, opts.MapParallelism)
+	reduceSlots := make(chan struct{}, opts.ReduceParallelism)
+	mapCtrs := make([]*mapreduce.Counters, len(splits))
+	redCtrs := make([]*mapreduce.Counters, numReduces)
+	var firstReduceStart time.Time
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // map dispatch
+		defer wg.Done()
+		for i := range splits {
+			if !sched.acquire(mapSlots) {
+				return
+			}
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-mapSlots }()
+				c, err := runMapWithRetry(job, jobID, i, splits[i], cmp, numReduces, server, board, opts.Faults, attempts)
+				mapCtrs[i] = c
+				if err != nil {
+					sched.fail(err)
+				}
+			}()
+		}
+	}()
+	go func() { // reduce dispatch, gated on the slow-start threshold
+		defer wg.Done()
+		if !board.waitCommitted(target, sched.done) {
+			return
+		}
+		firstReduceStart = time.Now()
+		for r := 0; r < numReduces; r++ {
+			if !sched.acquire(reduceSlots) {
+				return
+			}
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-reduceSlots }()
+				c, err := runReduceWithRetry(job, jobID, r, len(splits), server.Addr(), cmp, opts, board, sched.done, attempts)
+				redCtrs[r] = c
+				if err != nil {
+					sched.fail(err)
+				}
+			}()
+		}
+	}()
+	wg.Wait()
+	if err := sched.firstErr(); err != nil {
+		return nil, err
 	}
 
-	// Reduce phase (shuffle + sort + reduce per task).
-	redCtrs := make([]*mapreduce.Counters, numReduces)
-	err = parallelFor(numReduces, opts.ReduceParallelism, func(r int) error {
-		c, err := runReduceWithRetry(job, jobID, r, len(splits), server.Addr(), cmp, opts, attempts)
-		redCtrs[r] = c
-		return err
-	})
-	if err != nil {
-		return nil, err
+	for _, c := range mapCtrs {
+		total.Merge(c)
 	}
 	perReduce := make([]int64, numReduces)
 	for r, c := range redCtrs {
@@ -156,17 +220,72 @@ func Run(job *mapreduce.Job, opts *Options) (*Result, error) {
 		total.Merge(c)
 	}
 
-	return &Result{
+	end := time.Now()
+	lastCommit := board.LastCommit()
+	res := &Result{
 		Counters:         total,
 		NumMaps:          len(splits),
 		NumReduces:       numReduces,
-		Elapsed:          time.Since(start),
+		Elapsed:          end.Sub(start),
 		PerReduceRecords: perReduce,
-	}, nil
+		MapPhase:         lastCommit.Sub(start),
+		ReduceTail:       end.Sub(lastCommit),
+	}
+	if !firstReduceStart.IsZero() && lastCommit.After(firstReduceStart) {
+		res.OverlapWindow = lastCommit.Sub(firstReduceStart)
+	}
+	return res, nil
+}
+
+// jobScheduler is the shared control state of the unified task pool: the
+// first recorded error wins and closes done, after which no further task is
+// scheduled (fast-fail) and blocked waits abort.
+type jobScheduler struct {
+	mu   sync.Mutex
+	err  error
+	done chan struct{}
+}
+
+func newJobScheduler() *jobScheduler {
+	return &jobScheduler{done: make(chan struct{})}
+}
+
+func (s *jobScheduler) fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil && err != nil {
+		s.err = err
+		close(s.done)
+	}
+}
+
+func (s *jobScheduler) firstErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// acquire takes a slot from sem unless the job has failed; it re-checks
+// after acquiring so a slot freed by a failing task is not used to launch
+// more work.
+func (s *jobScheduler) acquire(sem chan struct{}) bool {
+	select {
+	case sem <- struct{}{}:
+	case <-s.done:
+		return false
+	}
+	select {
+	case <-s.done:
+		<-sem
+		return false
+	default:
+		return true
+	}
 }
 
 // parallelFor runs fn(0..n-1) on up to `workers` goroutines and returns the
-// first error.
+// first error. Once an error is recorded no further index is dispatched —
+// in-flight calls finish, the rest never start.
 func parallelFor(n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
@@ -193,6 +312,12 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 		}()
 	}
 	for i := 0; i < n; i++ {
+		mu.Lock()
+		failed := first != nil
+		mu.Unlock()
+		if failed {
+			break
+		}
 		nextCh <- i
 	}
 	close(nextCh)
@@ -204,14 +329,20 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 // fresh attempt IDs up to the bound (Hadoop's mapreduce.map.maxattempts).
 // Each attempt gets fresh task counters — only the winning attempt's work
 // counts, as in Hadoop — while fault counters accumulate across attempts so
-// the job report shows what the executor survived.
-func runMapWithRetry(job *mapreduce.Job, jobID mapreduce.JobID, idx int, split mapreduce.InputSplit, cmp writable.RawComparator, numReduces int, server *shuffleServer, plan *faultinject.Plan, attempts int) (*mapreduce.Counters, error) {
+// the job report shows what the executor survived. The winning attempt is
+// published to the completion board so waiting reducers fetch it
+// immediately; a commit after earlier failed attempts re-announces, bumping
+// the board version.
+func runMapWithRetry(job *mapreduce.Job, jobID mapreduce.JobID, idx int, split mapreduce.InputSplit, cmp writable.RawComparator, numReduces int, server *shuffleServer, board *completionBoard, plan *faultinject.Plan, attempts int) (*mapreduce.Counters, error) {
 	faultCtrs := mapreduce.NewCounters()
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		aid := mapreduce.MapAttempt(jobID, idx, attempt)
 		c, err := runMapTask(job, aid, split, cmp, numReduces, server, plan, faultCtrs)
 		if err == nil {
+			if board != nil {
+				board.Announce(idx, attempt)
+			}
 			c.Merge(faultCtrs)
 			return c, nil
 		}
@@ -221,8 +352,10 @@ func runMapWithRetry(job *mapreduce.Job, jobID mapreduce.JobID, idx int, split m
 	return faultCtrs, fmt.Errorf("localrun: map %d failed after %d attempts: %w", idx, attempts, lastErr)
 }
 
-// runReduceWithRetry is runMapWithRetry's reduce-side twin.
-func runReduceWithRetry(job *mapreduce.Job, jobID mapreduce.JobID, r, numMaps int, serverAddr string, cmp writable.RawComparator, opts *Options, attempts int) (*mapreduce.Counters, error) {
+// runReduceWithRetry is runMapWithRetry's reduce-side twin. done aborts
+// attempts (and the wait for map announcements inside them) once the job
+// has failed elsewhere.
+func runReduceWithRetry(job *mapreduce.Job, jobID mapreduce.JobID, r, numMaps int, serverAddr string, cmp writable.RawComparator, opts *Options, board *completionBoard, done <-chan struct{}, attempts int) (*mapreduce.Counters, error) {
 	bo := opts.FetchBackoff
 	if bo.Attempts == 0 && opts.Faults != nil {
 		bo.Attempts = opts.Faults.FetchAttempts()
@@ -235,13 +368,20 @@ func runReduceWithRetry(job *mapreduce.Job, jobID mapreduce.JobID, r, numMaps in
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		aid := mapreduce.ReduceAttempt(jobID, r, attempt)
-		c, err := runReduceTask(job, aid, numMaps, serverAddr, cmp, opts.Faults, bo, copies, faultCtrs)
+		c, err := runReduceTask(job, aid, numMaps, serverAddr, cmp, opts.Faults, bo, copies, faultCtrs, board, done)
 		if err == nil {
 			c.Merge(faultCtrs)
 			return c, nil
 		}
 		lastErr = err
 		faultCtrs.IncrFault(mapreduce.CtrReduceAttemptsFailed, 1)
+		select {
+		case <-done:
+			// The job is failing elsewhere; re-running this attempt would
+			// only wait on announcements that will never come.
+			return faultCtrs, fmt.Errorf("localrun: reduce %d: %w", r, lastErr)
+		default:
+		}
 	}
 	return faultCtrs, fmt.Errorf("localrun: reduce %d failed after %d attempts: %w", r, attempts, lastErr)
 }
@@ -535,17 +675,20 @@ func (it *valueIter) Next() (writable.Writable, bool) {
 	return it.inst, true
 }
 
-func runReduceTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, numMaps int, serverAddr string, cmp writable.RawComparator, plan *faultinject.Plan, bo faultinject.Backoff, copies int, faultCtrs *mapreduce.Counters) (*mapreduce.Counters, error) {
+func runReduceTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, numMaps int, serverAddr string, cmp writable.RawComparator, plan *faultinject.Plan, bo faultinject.Backoff, copies int, faultCtrs *mapreduce.Counters, board *completionBoard, done <-chan struct{}) (*mapreduce.Counters, error) {
 	r := aid.Task.Index
 	ctrs := mapreduce.NewCounters()
 	rep := &mapreduce.CountersReporter{C: ctrs}
 
-	// Shuffle: fetch this partition's segment from every map over
-	// parallelcopies persistent pipelined connections. Each fetch verifies
-	// the IFile checksum as it streams in and retries transient failures
-	// with backoff.
+	// Shuffle: stream this partition's segment from every map as it commits
+	// to the completion board, over parallelcopies persistent pipelined
+	// connections. Each fetch verifies the IFile checksum as it streams in
+	// and retries transient failures with backoff; completed contiguous
+	// blocks merge in the background while later map waves still run.
 	compressed := job.Conf.GetBool(mapreduce.ConfCompressMapOut, false)
-	segs, wire, st, err := fetchAllSegments(serverAddr, numMaps, r, copies, compressed, plan, bo)
+	ss := newStreamShuffle(serverAddr, numMaps, r, copies, compressed, plan, bo, board, cmp, job.Conf.IOSortFactor())
+	sres, err := ss.run(done)
+	st := sres.st
 	// Skip zero increments so clean runs don't grow an all-zero
 	// FaultCounter group in their counter dump.
 	if st.failures > 0 {
@@ -558,9 +701,9 @@ func runReduceTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, numMaps int,
 		faultCtrs.IncrFault(mapreduce.CtrShuffleFetchesSlow, st.slow)
 	}
 	for m := 0; m < numMaps; m++ {
-		if segs[m] != nil {
+		if sres.fetched[m] {
 			ctrs.IncrTask(mapreduce.CtrShuffledMaps, 1)
-			ctrs.IncrTask(mapreduce.CtrReduceShuffleBytes, wire[m])
+			ctrs.IncrTask(mapreduce.CtrReduceShuffleBytes, sres.wire[m])
 		}
 	}
 	if err != nil {
@@ -573,14 +716,16 @@ func runReduceTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, numMaps int,
 		return ctrs, faultinject.Errorf("localrun: %s aborted after shuffle", aid)
 	}
 
-	// Sort: merge all map segments in a single pass. Every fetched segment
-	// is already in memory, so the fan-in bound that matters for disk-backed
-	// merges (io.sort.factor) would only add intermediate record copies
-	// here; a single wide pass over the inlined merge heap is faster. The
-	// emitted records are views into the fetched segments, which stay alive
-	// in segs.
+	// Sort: one final merge pass over the streamed inputs — raw per-map
+	// segments plus any background-merged blocks standing in for their map
+	// ranges. Block merges preserved map-index tie-breaking, so the emitted
+	// record order is byte-identical to a flat merge after a barrier. The
+	// fan-in bound that matters for disk-backed merges (io.sort.factor)
+	// already shaped the background blocks; the final pass is a single wide
+	// in-memory merge. Emitted records are views into sres.parts, which
+	// stay alive below.
 	var recs []kvbuf.Record
-	if _, err := kvbuf.MergeStream(cmp, segs, func(k, v []byte) error {
+	if _, err := kvbuf.MergeStream(cmp, sres.parts, func(k, v []byte) error {
 		recs = append(recs, kvbuf.Record{Key: k, Val: v})
 		return nil
 	}); err != nil {

@@ -17,6 +17,7 @@ import (
 
 	"mrmicro/internal/faultinject"
 	"mrmicro/internal/kvbuf"
+	"mrmicro/internal/writable"
 )
 
 // ErrServerClosed is returned by Register once the shuffle server has shut
@@ -404,14 +405,13 @@ type failedFetch struct {
 	err    error
 }
 
-// run fetches map outputs [lo, hi) into segs/wire (indexed by map). First
-// attempts ride the pipelined window; failures fall through to per-segment
-// backoff retries. Like the pre-pipelining fetcher, one segment's
-// exhausted retries do not abort the rest — the first error is returned
-// after every segment has had its chance.
-func (f *segmentFetcher) run(lo, hi int, segs []*kvbuf.Segment, wire []int64) error {
-	defer f.closeConn()
-
+// run fetches the given map outputs, delivering each fetched segment (and
+// its on-the-wire byte count) through store. First attempts ride the
+// pipelined window; failures fall through to per-segment backoff retries.
+// Like the pre-pipelining fetcher, one segment's exhausted retries do not
+// abort the rest — the first error is returned after every segment has had
+// its chance.
+func (f *segmentFetcher) run(maps []int, store func(mapIdx int, seg *kvbuf.Segment, n int64)) error {
 	var retry []failedFetch
 	fail := func(mapIdx int, err error) {
 		f.st.failures++
@@ -419,11 +419,11 @@ func (f *segmentFetcher) run(lo, hi int, segs []*kvbuf.Segment, wire []int64) er
 	}
 
 	var inflight []inflightFetch
-	next := lo
-	for next < hi || len(inflight) > 0 {
+	next := 0
+	for next < len(maps) || len(inflight) > 0 {
 		// Fill the request window.
-		for next < hi && len(inflight) < fetchPipelineDepth {
-			m := next
+		for next < len(maps) && len(inflight) < fetchPipelineDepth {
+			m := maps[next]
 			next++
 			fault := faultinject.FetchOK
 			if f.plan != nil {
@@ -469,8 +469,7 @@ func (f *segmentFetcher) run(lo, hi int, segs []*kvbuf.Segment, wire []int64) er
 				fail(req.mapIdx, verr)
 				continue
 			}
-			segs[req.mapIdx] = seg
-			wire[req.mapIdx] = int64(len(data))
+			store(req.mapIdx, seg, int64(len(data)))
 		case errors.Is(err, errSegmentMissing):
 			// The server answered and keeps serving the rest of the
 			// pipeline; only this segment is (permanently) failed.
@@ -505,8 +504,7 @@ func (f *segmentFetcher) run(lo, hi int, segs []*kvbuf.Segment, wire []int64) er
 			if err != nil {
 				return err
 			}
-			segs[m] = seg
-			wire[m] = n
+			store(m, seg, n)
 			return nil
 		})
 		if err != nil && firstErr == nil {
@@ -541,7 +539,15 @@ func fetchAllSegments(addr string, numMaps, reduce, copies int, compressed bool,
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			f := &segmentFetcher{addr: addr, reduce: reduce, compressed: compressed, plan: plan, bo: bo, st: &sts[w]}
-			errs[w] = f.run(lo, hi, segs, wire)
+			defer f.closeConn()
+			share := make([]int, 0, hi-lo)
+			for m := lo; m < hi; m++ {
+				share = append(share, m)
+			}
+			errs[w] = f.run(share, func(m int, seg *kvbuf.Segment, n int64) {
+				segs[m] = seg
+				wire[m] = n
+			})
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -552,6 +558,379 @@ func fetchAllSegments(addr string, numMaps, reduce, copies int, compressed bool,
 		}
 	}
 	return segs, wire, stats, err
+}
+
+// errShuffleAborted reports a copy phase cut short because the job failed
+// elsewhere: the reduce attempt gives up waiting for announcements that
+// will never come.
+var errShuffleAborted = errors.New("localrun: shuffle aborted: job canceled")
+
+// shuffleResult is one reduce task's completed overlapped copy phase.
+type shuffleResult struct {
+	// parts holds the merge inputs in ascending map-index order, with each
+	// background-merged block collapsed to a single segment in its block's
+	// position. Because blocks are contiguous runs of map indices and the
+	// block merge itself tie-breaks equal keys by map index, a final merge
+	// over parts emits records in exactly the order a flat merge over all
+	// per-map segments would — the overlap is invisible in the output bytes.
+	parts   []*kvbuf.Segment
+	wire    []int64 // per original map: payload bytes moved for its winning fetch
+	fetched []bool  // per original map: its segment arrived
+	st      fetchStats
+}
+
+// streamShuffle coordinates one reduce task's overlapped copy phase: a
+// subscriber turns completion-board announcements into fetch work, `copies`
+// fetcher goroutines drain it over persistent pipelined connections (the
+// same segmentFetcher machinery the barrier path used), and completed
+// contiguous blocks of `factor` segments merge in the background so merge
+// work hides under the remaining copies. Re-announced maps (a retried
+// attempt committing after its predecessor's bytes may already have been
+// fetched) are re-fetched, invalidating any block merge they fed.
+type streamShuffle struct {
+	addr       string
+	reduce     int
+	numMaps    int
+	copies     int
+	compressed bool
+	plan       *faultinject.Plan
+	bo         faultinject.Backoff
+	board      *completionBoard
+	cmp        writable.RawComparator
+	blockWidth int // premerge block size; 0 disables background merge
+
+	onFetch func(mapIdx int) // test hook: called after a segment is stored
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	syncedSeq  int64   // board sequence the subscriber has fully processed
+	queue      []int   // announced maps awaiting dispatch
+	queued     []bool  // per map: sitting in queue
+	inflight   []bool  // per map: dispatched to a fetcher
+	queuedVer  []int64 // per map: latest announced board version (0 = none)
+	dispVer    []int64 // per map: board version observed at dispatch
+	fetchedVer []int64 // per map: board version whose fetch was stored (0 = none)
+	segs       []*kvbuf.Segment
+	wire       []int64
+	blockSeg   []*kvbuf.Segment // per block: background-merged output
+	merging    []bool
+	mergeWG    sync.WaitGroup
+	sts        []fetchStats
+	err        error
+	aborted    bool
+	finalized  bool
+}
+
+func newStreamShuffle(addr string, numMaps, reduce, copies int, compressed bool, plan *faultinject.Plan, bo faultinject.Backoff, board *completionBoard, cmp writable.RawComparator, factor int) *streamShuffle {
+	if copies < 1 {
+		copies = 1
+	}
+	copies = min(copies, numMaps)
+	ss := &streamShuffle{
+		addr:       addr,
+		reduce:     reduce,
+		numMaps:    numMaps,
+		copies:     copies,
+		compressed: compressed,
+		plan:       plan,
+		bo:         bo,
+		board:      board,
+		cmp:        cmp,
+		queued:     make([]bool, numMaps),
+		inflight:   make([]bool, numMaps),
+		queuedVer:  make([]int64, numMaps),
+		dispVer:    make([]int64, numMaps),
+		fetchedVer: make([]int64, numMaps),
+		segs:       make([]*kvbuf.Segment, numMaps),
+		wire:       make([]int64, numMaps),
+		sts:        make([]fetchStats, copies),
+	}
+	ss.cond = sync.NewCond(&ss.mu)
+	// Background merge only pays when blocks complete while other maps are
+	// still copying; a single block spanning the whole job cannot overlap
+	// with anything, so it is disabled.
+	if factor >= 2 && numMaps > factor {
+		ss.blockWidth = factor
+		ss.blockSeg = make([]*kvbuf.Segment, (numMaps+factor-1)/factor)
+		ss.merging = make([]bool, len(ss.blockSeg))
+	}
+	return ss
+}
+
+// run drives the copy phase to completion: every map announced, fetched and
+// up to date (re-fetched past any re-announcement), or the first error /
+// cancellation. done aborts waits when the job fails elsewhere; nil means
+// never cancel.
+func (ss *streamShuffle) run(done <-chan struct{}) (*shuffleResult, error) {
+	stop := make(chan struct{})
+	defer close(stop)
+	go ss.watchDone(done, stop)
+	go ss.subscribe(stop)
+
+	var wg sync.WaitGroup
+	for w := 0; w < ss.copies; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ss.worker(w)
+		}(w)
+	}
+	wg.Wait()
+	ss.mergeWG.Wait()
+	return ss.finalize()
+}
+
+func (ss *streamShuffle) watchDone(done, stop <-chan struct{}) {
+	select {
+	case <-done:
+		ss.mu.Lock()
+		ss.aborted = true
+		ss.cond.Broadcast()
+		ss.mu.Unlock()
+	case <-stop:
+	}
+}
+
+// subscribe converts board announcements into fetch work until the copy
+// phase ends.
+func (ss *streamShuffle) subscribe(stop <-chan struct{}) {
+	snap := make([]mapCompletion, ss.numMaps)
+	seen := make([]int64, ss.numMaps)
+	for {
+		seq, next := ss.board.poll(snap)
+		ss.mu.Lock()
+		for m := range snap {
+			c := snap[m]
+			if c.Attempt < 0 || c.Version <= seen[m] {
+				continue
+			}
+			seen[m] = c.Version
+			ss.noteAnnounce(m, c.Version)
+		}
+		ss.syncedSeq = seq
+		ss.cond.Broadcast()
+		ss.mu.Unlock()
+		select {
+		case <-next:
+		case <-stop:
+			return
+		}
+	}
+}
+
+// noteAnnounce records map m's (re-)announcement and queues the fetch.
+// Caller holds ss.mu.
+func (ss *streamShuffle) noteAnnounce(m int, ver int64) {
+	if ss.finalized {
+		// The copy phase already published its result; a straggling
+		// announcement (only possible once the job is failing) must not
+		// recycle segments the reduce pass is reading.
+		return
+	}
+	ss.queuedVer[m] = ver
+	// A newer attempt invalidates any block merge the old bytes fed.
+	if b := ss.blockOf(m); b >= 0 && ss.blockSeg[b] != nil {
+		ss.blockSeg[b].Recycle()
+		ss.blockSeg[b] = nil
+	}
+	if !ss.queued[m] && !ss.inflight[m] && ss.fetchedVer[m] < ver {
+		ss.queued[m] = true
+		ss.queue = append(ss.queue, m)
+	}
+}
+
+func (ss *streamShuffle) blockOf(m int) int {
+	if ss.blockWidth == 0 {
+		return -1
+	}
+	return m / ss.blockWidth
+}
+
+// upToDate reports whether every map's announced bytes have been fetched.
+// The copy phase may not close while the subscriber lags the board: an
+// announcement published but not yet turned into queue state must hold the
+// phase open, or a re-announced map's stale bytes would be finalized.
+// Caller holds ss.mu.
+func (ss *streamShuffle) upToDate() bool {
+	if ss.syncedSeq != ss.board.Seq() {
+		return false
+	}
+	for m := 0; m < ss.numMaps; m++ {
+		if ss.fetchedVer[m] == 0 || ss.fetchedVer[m] < ss.queuedVer[m] {
+			return false
+		}
+	}
+	return true
+}
+
+// nextBatch blocks until fetch work is available, handing out up to a
+// pipeline window's worth of maps, or returns nil when the copy phase is
+// over (complete, failed, or aborted).
+func (ss *streamShuffle) nextBatch() []int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	for {
+		if ss.err != nil || ss.aborted || ss.upToDate() {
+			return nil
+		}
+		if len(ss.queue) > 0 {
+			break
+		}
+		ss.cond.Wait()
+	}
+	n := min(len(ss.queue), fetchPipelineDepth)
+	batch := make([]int, n)
+	copy(batch, ss.queue[:n])
+	ss.queue = append(ss.queue[:0], ss.queue[n:]...)
+	for _, m := range batch {
+		ss.queued[m] = false
+		ss.inflight[m] = true
+		ss.dispVer[m] = ss.queuedVer[m]
+	}
+	return batch
+}
+
+// worker is one copier thread: it owns a persistent connection and drains
+// batches through the pipelined fetcher until the phase ends.
+func (ss *streamShuffle) worker(w int) {
+	f := &segmentFetcher{addr: ss.addr, reduce: ss.reduce, compressed: ss.compressed, plan: ss.plan, bo: ss.bo, st: &ss.sts[w]}
+	defer f.closeConn()
+	for {
+		batch := ss.nextBatch()
+		if batch == nil {
+			return
+		}
+		err := f.run(batch, ss.store)
+		ss.batchDone(batch, err)
+	}
+}
+
+// store records one fetched segment. The fetch observed whatever the server
+// had registered when it ran, so it is stamped with the board version seen
+// at dispatch: a re-announcement racing past it leaves fetchedVer behind
+// queuedVer and the map is re-queued by batchDone.
+func (ss *streamShuffle) store(m int, seg *kvbuf.Segment, n int64) {
+	ss.mu.Lock()
+	ss.segs[m] = seg
+	ss.wire[m] = n
+	ss.fetchedVer[m] = ss.dispVer[m]
+	ss.maybeMergeBlock(ss.blockOf(m))
+	ss.mu.Unlock()
+	if ss.onFetch != nil {
+		ss.onFetch(m)
+	}
+}
+
+func (ss *streamShuffle) batchDone(batch []int, err error) {
+	ss.mu.Lock()
+	for _, m := range batch {
+		ss.inflight[m] = false
+		// Stale (re-announced mid-flight) or failed-but-recoverable maps go
+		// back in the queue; with err set the phase is ending anyway.
+		if ss.fetchedVer[m] < ss.queuedVer[m] && !ss.queued[m] {
+			ss.queued[m] = true
+			ss.queue = append(ss.queue, m)
+		}
+	}
+	if err != nil && ss.err == nil {
+		ss.err = err
+	}
+	ss.cond.Broadcast()
+	ss.mu.Unlock()
+}
+
+// maybeMergeBlock starts a background merge of block b once all its maps are
+// fetched, provided the copy phase still has other maps outstanding (merge
+// work that cannot hide under remaining copies is left to the final pass).
+// Caller holds ss.mu.
+func (ss *streamShuffle) maybeMergeBlock(b int) {
+	if b < 0 || ss.merging[b] || ss.blockSeg[b] != nil || ss.upToDate() {
+		return
+	}
+	lo := b * ss.blockWidth
+	hi := min(lo+ss.blockWidth, ss.numMaps)
+	if hi-lo < ss.blockWidth {
+		return // partial tail block: nothing to gain
+	}
+	members := make([]*kvbuf.Segment, 0, hi-lo)
+	vers := make([]int64, 0, hi-lo)
+	for m := lo; m < hi; m++ {
+		if ss.fetchedVer[m] == 0 || ss.fetchedVer[m] < ss.queuedVer[m] {
+			return
+		}
+		members = append(members, ss.segs[m])
+		vers = append(vers, ss.fetchedVer[m])
+	}
+	ss.merging[b] = true
+	ss.mergeWG.Add(1)
+	go func() {
+		defer ss.mergeWG.Done()
+		merged, _, err := kvbuf.MergeAll(ss.cmp, members, ss.blockWidth, 0)
+		ss.mu.Lock()
+		ss.merging[b] = false
+		stale := err != nil
+		for i, m := 0, lo; m < hi; i, m = i+1, m+1 {
+			// Stale if a re-fetch landed while we merged, or a re-announcement
+			// was noted: installing a block built from superseded bytes would
+			// make the later re-fetch's maybeMergeBlock a no-op against it.
+			if ss.fetchedVer[m] != vers[i] || ss.queuedVer[m] != vers[i] {
+				stale = true
+			}
+		}
+		if stale {
+			// A merge error is not a fetch error: the final pass will read
+			// the raw segments and report it with full context.
+			if merged != nil {
+				merged.Recycle()
+			}
+		} else {
+			ss.blockSeg[b] = merged
+		}
+		ss.mu.Unlock()
+	}()
+}
+
+// finalize assembles the merge inputs in map order, collapsing merged
+// blocks, and recycles raw segments whose bytes already live in a block
+// merge (the final merge will never read them).
+func (ss *streamShuffle) finalize() (*shuffleResult, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.finalized = true
+	res := &shuffleResult{
+		wire:    ss.wire,
+		fetched: make([]bool, ss.numMaps),
+	}
+	for m := 0; m < ss.numMaps; m++ {
+		res.fetched[m] = ss.fetchedVer[m] > 0
+	}
+	for _, st := range ss.sts {
+		res.st.add(st)
+	}
+	if ss.err != nil {
+		return res, ss.err
+	}
+	if ss.aborted && !ss.upToDate() {
+		return res, errShuffleAborted
+	}
+	if ss.blockWidth == 0 {
+		res.parts = ss.segs
+		return res, nil
+	}
+	for b := 0; b*ss.blockWidth < ss.numMaps; b++ {
+		lo := b * ss.blockWidth
+		hi := min(lo+ss.blockWidth, ss.numMaps)
+		if ss.blockSeg[b] != nil {
+			res.parts = append(res.parts, ss.blockSeg[b])
+			for m := lo; m < hi; m++ {
+				ss.segs[m].Recycle()
+				ss.segs[m] = nil
+			}
+			continue
+		}
+		res.parts = append(res.parts, ss.segs[lo:hi]...)
+	}
+	return res, nil
 }
 
 // fetchValidated retrieves one map-output partition, verifies its IFile

@@ -1,10 +1,13 @@
 package microbench
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"mrmicro/internal/localrun"
 	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/writable"
 )
 
 // TestCrossEngineConformance drives the SAME job specification through both
@@ -59,6 +62,104 @@ func TestCrossEngineConformance(t *testing.T) {
 					t.Errorf("spec total records = %d, want %d", specTotal, wantTotal)
 				}
 			})
+		}
+	}
+}
+
+// TestSlowstartConformance pins the one-knob contract: the same benchmark at
+// slowstart=1.0 (barrier-equivalent) and slowstart=0.05 (overlapped) must
+// produce identical counters and byte-identical sorted reduce output on the
+// real executor, and identical counters on both simulated engines — the
+// schedule may only move time, never bytes.
+func TestSlowstartConformance(t *testing.T) {
+	base := Config{
+		Pattern:     MRSkew,
+		NumMaps:     8,
+		NumReduces:  3,
+		PairsPerMap: 500,
+		KeySize:     16,
+		ValueSize:   16,
+		DataType:    "Text",
+		Seed:        7,
+		Slaves:      2,
+	}
+
+	// Real executor: capture the merged reduce stream instead of discarding
+	// it, with a small merge fan-in so the overlapped run exercises the
+	// background block merge.
+	runLocal := func(slow float64) (output, counters string, perReduce []int64) {
+		cfg := base
+		cfg.Slowstart = slow
+		job, err := BuildJob(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job.Conf.SetInt(mapreduce.ConfIOSortFactor, 2)
+		out := &mapreduce.MemoryOutput{}
+		job.Output = out
+		job.Reducer = func() mapreduce.Reducer {
+			return mapreduce.ReducerFunc(func(k writable.Writable, vs mapreduce.ValueIterator, o mapreduce.Collector, _ mapreduce.Reporter) error {
+				var n int64
+				for {
+					if _, ok := vs.Next(); !ok {
+						break
+					}
+					n++
+				}
+				return o.Collect(k, &writable.LongWritable{Value: n})
+			})
+		}
+		res, err := localrun.Run(job, nil)
+		if err != nil {
+			t.Fatalf("slowstart=%v: %v", slow, err)
+		}
+		var b strings.Builder
+		for r := 0; r < cfg.NumReduces; r++ {
+			for _, p := range out.Pairs(r) {
+				fmt.Fprintf(&b, "%d/%v=%v\n", r, p.Key, p.Value)
+			}
+		}
+		return b.String(), res.Counters.String(), res.PerReduceRecords
+	}
+
+	barrierOut, barrierCtrs, barrierDist := runLocal(1.0)
+	overlapOut, overlapCtrs, overlapDist := runLocal(0.05)
+	if overlapOut != barrierOut {
+		t.Error("localrun: overlapped output differs from the barrier path")
+	}
+	if overlapCtrs != barrierCtrs {
+		t.Errorf("localrun: counters differ across slowstart:\n%s\nvs\n%s", barrierCtrs, overlapCtrs)
+	}
+	for r := range barrierDist {
+		if barrierDist[r] != overlapDist[r] {
+			t.Errorf("localrun: reduce %d records %d vs %d across slowstart", r, barrierDist[r], overlapDist[r])
+		}
+	}
+
+	// Simulated engines: record-flow counters must be untouched by the
+	// schedule and agree with the real executor's totals.
+	total := base.PairsPerMap * int64(base.NumMaps)
+	for _, engine := range []Engine{EngineMRv1, EngineYARN} {
+		runSim := func(slow float64) *mapreduce.Counters {
+			cfg := base
+			cfg.Engine = engine
+			cfg.Slowstart = slow
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s slowstart=%v: %v", engine, slow, err)
+			}
+			return res.Report.Counters
+		}
+		barrier := runSim(1.0)
+		overlap := runSim(0.05)
+		if barrier.String() != overlap.String() {
+			t.Errorf("%s: counters differ across slowstart:\n%s\nvs\n%s", engine, barrier, overlap)
+		}
+		if got := overlap.Task(mapreduce.CtrReduceInputRecords); got != total {
+			t.Errorf("%s: reduce input records = %d, want %d", engine, got, total)
+		}
+		if got := overlap.Task(mapreduce.CtrShuffledMaps); got != int64(base.NumMaps*base.NumReduces) {
+			t.Errorf("%s: shuffled maps = %d, want %d", engine, got, base.NumMaps*base.NumReduces)
 		}
 	}
 }
