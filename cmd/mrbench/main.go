@@ -20,91 +20,30 @@ import (
 	"sort"
 	"time"
 
-	"mrmicro/internal/cliutil"
-	"mrmicro/internal/faultinject"
 	"mrmicro/internal/localrun"
 	"mrmicro/internal/mapreduce"
 	"mrmicro/internal/metrics"
 	"mrmicro/internal/microbench"
-	"mrmicro/internal/netsim"
 )
 
 func main() {
+	shared := microbench.BindFlags(flag.CommandLine)
 	var (
-		pattern  = flag.String("pattern", "MR-AVG", "micro-benchmark: MR-AVG, MR-RAND or MR-SKEW")
-		network  = flag.String("network", netsim.OneGigE.Name, "interconnect profile (see mrcluster -profiles)")
-		clusterF = flag.String("cluster", "A", "testbed: A (OSU Westmere) or B (TACC Stampede)")
-		engine   = flag.String("engine", "mrv1", "Hadoop generation: mrv1 or yarn")
-		slaves   = flag.Int("slaves", 4, "slave node count")
-		maps     = flag.Int("maps", 0, "map tasks (default 4 per slave)")
-		reduces  = flag.Int("reduces", 0, "reduce tasks (default 2 per slave)")
-		kv       = flag.Int("kv", 1024, "key and value payload size in bytes")
-		keySize  = flag.Int("keysize", 0, "key size override (bytes)")
-		valSize  = flag.Int("valuesize", 0, "value size override (bytes)")
-		dataType = flag.String("datatype", "BytesWritable", "intermediate data type: BytesWritable or Text")
-		sizeF    = flag.String("size", "", "total shuffle data size (e.g. 16GB); overrides -pairs")
-		pairs    = flag.Int64("pairs", 0, "key/value pairs per map task")
-		seed     = flag.Int64("seed", 1, "seed for MR-RAND / MR-SKEW randomness")
-		rdma     = flag.Bool("rdma", false, "use the RDMA-enhanced shuffle (MRoIB case study)")
-		monitor  = flag.Bool("monitor", false, "collect per-second resource utilization")
-		tasklog  = flag.Bool("tasklog", false, "print the per-task-attempt timeline (Gantt)")
-		traceF   = flag.String("trace", "", "write a Chrome trace-event JSON of the job to this file")
-		local    = flag.Bool("local", false, "execute for real in-process (small scale) instead of simulating")
-		copiesF  = flag.Int("parallelcopies", 0, "concurrent shuffle fetch connections per reduce task (default 5, Hadoop's mapreduce.reduce.shuffle.parallelcopies)")
-		slowF    = flag.Float64("slowstart", 0, "completed-map fraction before reducers launch, for both the sim and the real executor (default 0.05, Hadoop's mapreduce.job.reduce.slowstart.completedmaps; 1.0 = strict barrier)")
-		benchF   = flag.String("bench-json", "", "write machine-readable local-execution throughput results to this file (implies -local)")
-		benchN   = flag.Int("bench-reps", 5, "repetitions per configuration for -bench-json medians")
-
-		faultSeed    = flag.Int64("fault-seed", 0, "seed for injected faults (default: -seed)")
-		faultMap     = flag.Float64("fault-map-rate", 0, "probability a map attempt dies mid-shuffle-registration")
-		faultReduce  = flag.Float64("fault-reduce-rate", 0, "probability a reduce attempt dies after its shuffle")
-		faultDrop    = flag.Float64("fault-shuffle-drop", 0, "probability a shuffle fetch drops its connection")
-		faultTrunc   = flag.Float64("fault-shuffle-truncate", 0, "probability a shuffle fetch delivers a truncated payload")
-		faultSlow    = flag.Float64("fault-shuffle-slow", 0, "probability a shuffle fetch is served by a slow peer")
-		faultSpill   = flag.Float64("fault-spill", 0, "probability a map-side spill hits a transient I/O error")
-		faultRetries = flag.Int("fault-max-attempts", 0, "task attempt bound under faults (default 4, Hadoop's mapreduce.map.maxattempts)")
+		monitor = flag.Bool("monitor", false, "collect per-second resource utilization")
+		tasklog = flag.Bool("tasklog", false, "print the per-task-attempt timeline (Gantt)")
+		traceF  = flag.String("trace", "", "write a Chrome trace-event JSON of the job to this file")
+		local   = flag.Bool("local", false, "execute for real in-process (small scale) instead of simulating")
+		benchF  = flag.String("bench-json", "", "write machine-readable local-execution throughput results to this file (implies -local)")
+		benchN  = flag.Int("bench-reps", 5, "repetitions per configuration for -bench-json medians")
 	)
 	flag.Parse()
 
-	cfg := microbench.Config{
-		Pattern:        microbench.Pattern(*pattern),
-		Network:        *network,
-		Cluster:        microbench.ClusterID(*clusterF),
-		Engine:         microbench.Engine(*engine),
-		Slaves:         *slaves,
-		NumMaps:        *maps,
-		NumReduces:     *reduces,
-		KeySize:        pick(*keySize, *kv),
-		ValueSize:      pick(*valSize, *kv),
-		DataType:       *dataType,
-		PairsPerMap:    *pairs,
-		Seed:           *seed,
-		RDMAShuffle:    *rdma,
-		ParallelCopies: *copiesF,
-		Slowstart:      *slowF,
+	cfg, err := shared.Config()
+	if err != nil {
+		fatal(err)
 	}
 	if *monitor {
 		cfg.MonitorInterval = time.Second
-	}
-	if *faultMap > 0 || *faultReduce > 0 || *faultDrop > 0 || *faultTrunc > 0 ||
-		*faultSlow > 0 || *faultSpill > 0 {
-		cfg.Faults = &faultinject.Plan{
-			Seed:                pick64(*faultSeed, *seed),
-			MapFailureRate:      *faultMap,
-			ReduceFailureRate:   *faultReduce,
-			ShuffleDropRate:     *faultDrop,
-			ShuffleTruncateRate: *faultTrunc,
-			ShuffleSlowRate:     *faultSlow,
-			SpillErrorRate:      *faultSpill,
-			MaxTaskAttempts:     *faultRetries,
-		}
-	}
-	if *sizeF != "" {
-		n, err := cliutil.ParseSize(*sizeF)
-		if err != nil {
-			fatal(err)
-		}
-		cfg = cfg.WithShuffleSize(n)
 	}
 	if cfg.PairsPerMap <= 0 {
 		fatal(fmt.Errorf("specify -size or -pairs"))
@@ -318,20 +257,6 @@ func faultKVs(c *mapreduce.Counters) []metrics.KV {
 		out = append(out, metrics.KV{Key: name, Value: c.Fault(name)})
 	}
 	return out
-}
-
-func pick(override, def int) int {
-	if override > 0 {
-		return override
-	}
-	return def
-}
-
-func pick64(override, def int64) int64 {
-	if override != 0 {
-		return override
-	}
-	return def
 }
 
 func fatal(err error) {

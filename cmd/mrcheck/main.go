@@ -1,0 +1,159 @@
+// Command mrcheck is the suite's property-based differential tester. It
+// generates N seeded random benchmark configurations and checks the
+// cross-engine invariant library (internal/mrcheck) over each: the real
+// localrun executor against the per-pattern partition oracles, the barrier
+// schedule, its own recovery machinery under injected faults, and the
+// simulated mrv1/yarn engines' counters. On failure it shrinks the config
+// to a minimum and prints a one-line repro.
+//
+// Examples:
+//
+//	mrcheck -n 100 -seed 42              # clean property run
+//	mrcheck -n 100 -seed 42 -faults      # with generated fault plans
+//	mrcheck -engines localrun,mrv1 -n 25 # skip the yarn cross-check
+//	mrcheck -replay -- -pattern MR-RAND -pairs 7 -maps 2 -reduces 3 -seed 1 ...
+//	mrcheck -corpus internal/mrcheck/testdata/corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mrmicro/internal/cliutil"
+	"mrmicro/internal/microbench"
+	"mrmicro/internal/mrcheck"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "suite seed: -seed S -n N checks iterations 0..N-1 of S's config stream")
+		n       = flag.Int("n", 100, "number of generated configurations to check")
+		engines = flag.String("engines", "localrun,mrv1,yarn", "engines to cross-check, comma separated (localrun is the reference and always required)")
+		faults  = flag.Bool("faults", false, "attach generated fault plans and check recovery equivalence")
+		budget  = flag.String("budget", "", "per-config shuffle byte budget (e.g. 1MB; default 512KB)")
+		replay  = flag.Bool("replay", false, "check the single config given by flags after --, verbatim (printed by a failing run)")
+		corpus  = flag.String("corpus", "", "replay every *.repro file in this directory (regression corpus)")
+		verbose = flag.Bool("v", false, "log per-iteration skips and shrink progress")
+	)
+	flag.Parse()
+
+	check, err := parseEngines(*engines)
+	if err != nil {
+		fatal(err)
+	}
+	gen := mrcheck.GenOptions{Faults: *faults}
+	if *budget != "" {
+		b, err := cliutil.ParseSize(*budget)
+		if err != nil {
+			fatal(fmt.Errorf("-budget: %w", err))
+		}
+		gen.MaxShuffleBytes = b
+	}
+
+	switch {
+	case *replay:
+		os.Exit(replayOne(flag.Args(), check))
+	case *corpus != "":
+		os.Exit(replayCorpus(*corpus, check))
+	}
+
+	opts := mrcheck.SuiteOptions{Seed: *seed, N: *n, Gen: gen, Check: check}
+	if *verbose {
+		opts.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "mrcheck: "+format+"\n", args...)
+		}
+	}
+	res, err := mrcheck.RunSuite(opts)
+	if err != nil {
+		fatal(err)
+	}
+	if res.Failure != nil {
+		fmt.Fprintf(os.Stderr, "mrcheck: FAIL after %d ok, %d skipped\n", res.Checked, res.Skipped)
+		fmt.Fprintf(os.Stderr, "  invariant: %s\n  %s\n  repro: %s\n",
+			res.Failure.Invariant, res.Failure.Detail, res.Repro)
+		os.Exit(1)
+	}
+	fmt.Printf("mrcheck: ok — %d configs checked, %d skipped (seed %d, faults %v, engines %s)\n",
+		res.Checked, res.Skipped, *seed, *faults, *engines)
+}
+
+// replayOne re-checks one exact configuration, as printed in a repro line.
+func replayOne(args []string, check mrcheck.CheckOptions) int {
+	cfg, err := microbench.ParseRepro(args)
+	if err != nil {
+		fatal(fmt.Errorf("-replay: %w", err))
+	}
+	return report(cfg, mrcheck.CheckConfig(cfg, check))
+}
+
+// replayCorpus re-checks every checked-in past failure.
+func replayCorpus(dir string, check mrcheck.CheckOptions) int {
+	files, err := filepath.Glob(filepath.Join(dir, "*.repro"))
+	if err != nil {
+		fatal(err)
+	}
+	if len(files) == 0 {
+		fatal(fmt.Errorf("no *.repro files in %s", dir))
+	}
+	code := 0
+	for _, f := range files {
+		cfg, err := mrcheck.LoadRepro(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("mrcheck: corpus %s: ", filepath.Base(f))
+		if c := report(cfg, mrcheck.CheckConfig(cfg, check)); c != 0 {
+			code = c
+		}
+	}
+	return code
+}
+
+// report prints one config's verdict and returns the exit code.
+func report(cfg microbench.Config, err error) int {
+	switch e := err.(type) {
+	case nil:
+		fmt.Println("ok")
+		return 0
+	case *mrcheck.SkipError:
+		fmt.Printf("skipped (%v)\n", e.Err)
+		return 0
+	case *mrcheck.Failure:
+		fmt.Fprintf(os.Stderr, "FAIL\n  invariant: %s\n  %s\n  repro: %s\n",
+			e.Invariant, e.Detail, mrcheck.ReproLine(e.Config))
+		return 1
+	default:
+		fatal(err)
+		return 1
+	}
+}
+
+// parseEngines resolves the -engines list into check options. localrun is
+// the reference every invariant compares against, so it must be present;
+// the remaining names select the simulated engines.
+func parseEngines(s string) (mrcheck.CheckOptions, error) {
+	opts := mrcheck.CheckOptions{Engines: []microbench.Engine{}}
+	sawLocal := false
+	for _, name := range strings.Split(s, ",") {
+		switch name = strings.TrimSpace(name); name {
+		case "localrun":
+			sawLocal = true
+		case string(microbench.EngineMRv1), string(microbench.EngineYARN):
+			opts.Engines = append(opts.Engines, microbench.Engine(name))
+		default:
+			return opts, fmt.Errorf("-engines: unknown engine %q", name)
+		}
+	}
+	if !sawLocal {
+		return opts, fmt.Errorf("-engines must include localrun (the reference executor)")
+	}
+	return opts, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mrcheck:", err)
+	os.Exit(1)
+}

@@ -15,11 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 
+	"mrmicro/internal/cliutil"
 	"mrmicro/internal/hadooprpc"
 	"mrmicro/internal/writable"
 )
@@ -32,14 +31,10 @@ func main() {
 	)
 	flag.Parse()
 
-	var sizes []int
-	for _, s := range strings.Split(*sizesF, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || n < 0 {
-			fmt.Fprintf(os.Stderr, "rpcbench: bad size %q\n", s)
-			os.Exit(1)
-		}
-		sizes = append(sizes, n)
+	sizes, err := cliutil.ParseIntList(*sizesF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rpcbench: -sizes: %v\n", err)
+		os.Exit(1)
 	}
 
 	srv, err := hadooprpc.NewServer("127.0.0.1:0", "rpcbench")

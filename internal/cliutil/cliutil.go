@@ -3,6 +3,7 @@ package cliutil
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -31,4 +32,76 @@ func ParseSize(s string) (int64, error) {
 		return 0, fmt.Errorf("negative size %q", in)
 	}
 	return int64(f * float64(mult)), nil
+}
+
+// ParseIntList parses a comma-separated list of non-negative base-10
+// integers ("16,256,4096"). Whitespace around elements is ignored; an empty
+// string, an empty element, or a malformed or negative element is an error.
+func ParseIntList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty int list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad int %q in list %q", p, s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// KVFlag is a repeatable key=value flag (Hadoop's -D style): each occurrence
+// adds one pair, later occurrences of the same key overwrite earlier ones.
+// Register with flag.Var; the zero value is ready to use.
+type KVFlag struct {
+	m map[string]string
+}
+
+// String renders the collected pairs sorted by key, for -help output.
+func (f *KVFlag) String() string {
+	if f == nil || len(f.m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(f.m))
+	for k := range f.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", k, f.m[k])
+	}
+	return b.String()
+}
+
+// Set records one key=value occurrence. The value may itself contain '=';
+// a missing '=' or an empty key is an error.
+func (f *KVFlag) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	k = strings.TrimSpace(k)
+	if k == "" {
+		return fmt.Errorf("empty key in %q", s)
+	}
+	if f.m == nil {
+		f.m = make(map[string]string)
+	}
+	f.m[k] = v
+	return nil
+}
+
+// Map returns the collected pairs, nil when no occurrences were seen.
+func (f *KVFlag) Map() map[string]string {
+	if len(f.m) == 0 {
+		return nil
+	}
+	return f.m
 }

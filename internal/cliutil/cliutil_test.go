@@ -1,6 +1,9 @@
 package cliutil
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestParseSize(t *testing.T) {
 	cases := map[string]int64{
@@ -29,5 +32,111 @@ func TestParseSize(t *testing.T) {
 		if _, err := ParseSize(bad); err == nil {
 			t.Errorf("ParseSize(%q) accepted", bad)
 		}
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{name: "single", in: "42", want: []int{42}},
+		{name: "several", in: "16,256,4096", want: []int{16, 256, 4096}},
+		{name: "zero element", in: "0,1", want: []int{0, 1}},
+		{name: "spaces around elements", in: " 16 , 256 ", want: []int{16, 256}},
+		{name: "empty string", in: "", wantErr: true},
+		{name: "only whitespace", in: "   ", wantErr: true},
+		{name: "empty element", in: "16,,256", wantErr: true},
+		{name: "trailing comma", in: "16,256,", wantErr: true},
+		{name: "bad int", in: "16,abc", wantErr: true},
+		{name: "negative", in: "16,-4", wantErr: true},
+		{name: "float", in: "1.5", wantErr: true},
+		{name: "hex not accepted", in: "0x10", wantErr: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseIntList(tc.in)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ParseIntList(%q) = %v, want error", tc.in, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseIntList(%q): %v", tc.in, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("ParseIntList(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestKVFlag(t *testing.T) {
+	tests := []struct {
+		name    string
+		sets    []string
+		want    map[string]string
+		wantErr bool
+		str     string
+	}{
+		{name: "empty flag", sets: nil, want: nil, str: ""},
+		{name: "single pair", sets: []string{"a=1"}, want: map[string]string{"a": "1"}, str: "a=1"},
+		{
+			name: "repeated flag accumulates",
+			sets: []string{"io.sort.mb=1", "io.sort.factor=2"},
+			want: map[string]string{"io.sort.mb": "1", "io.sort.factor": "2"},
+			str:  "io.sort.factor=2 io.sort.mb=1",
+		},
+		{
+			name: "repeated key last wins",
+			sets: []string{"a=1", "a=2"},
+			want: map[string]string{"a": "2"},
+			str:  "a=2",
+		},
+		{
+			name: "value may contain equals",
+			sets: []string{"expr=x=y"},
+			want: map[string]string{"expr": "x=y"},
+			str:  "expr=x=y",
+		},
+		{name: "empty value allowed", sets: []string{"a="}, want: map[string]string{"a": ""}, str: "a="},
+		{name: "missing equals", sets: []string{"novalue"}, wantErr: true},
+		{name: "empty key", sets: []string{"=1"}, wantErr: true},
+		{name: "whitespace key", sets: []string{"  =1"}, wantErr: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var f KVFlag
+			var err error
+			for _, s := range tc.sets {
+				if err = f.Set(s); err != nil {
+					break
+				}
+			}
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Set(%q) accepted", tc.sets)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := f.Map(); !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("Map() = %v, want %v", got, tc.want)
+			}
+			if got := f.String(); got != tc.str {
+				t.Errorf("String() = %q, want %q", got, tc.str)
+			}
+		})
+	}
+	// A nil *KVFlag must render (flag's -help path calls String on a zero
+	// Value via reflection).
+	var nilF *KVFlag
+	if nilF.String() != "" {
+		t.Error("nil KVFlag String() not empty")
 	}
 }

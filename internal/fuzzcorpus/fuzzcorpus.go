@@ -1,0 +1,106 @@
+// Package fuzzcorpus reads and writes Go native-fuzzing seed corpus files
+// (the `go test fuzz v1` encoding) for single-[]byte fuzz targets. Checked-in
+// corpora under testdata/fuzz/<FuzzName>/ run as deterministic seeds during
+// plain `go test`, so CI fuzz smoke coverage does not depend on the writer
+// code that originally produced the seeds still emitting identical bytes.
+package fuzzcorpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const header = "go test fuzz v1"
+
+// Encode renders one []byte seed in the corpus file encoding.
+func Encode(data []byte) []byte {
+	return []byte(header + "\n[]byte(" + strconv.Quote(string(data)) + ")\n")
+}
+
+// Decode parses a corpus file holding a single []byte value.
+func Decode(file []byte) ([]byte, error) {
+	lines := strings.SplitN(strings.TrimRight(string(file), "\n"), "\n", 2)
+	if len(lines) != 2 || lines[0] != header {
+		return nil, fmt.Errorf("fuzzcorpus: missing %q header", header)
+	}
+	body := strings.TrimSpace(lines[1])
+	if !strings.HasPrefix(body, "[]byte(") || !strings.HasSuffix(body, ")") {
+		return nil, fmt.Errorf("fuzzcorpus: not a single []byte entry: %q", body)
+	}
+	s, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(body, "[]byte("), ")"))
+	if err != nil {
+		return nil, fmt.Errorf("fuzzcorpus: bad string literal: %w", err)
+	}
+	return []byte(s), nil
+}
+
+// Write materializes seeds as seed-NNN files in dir, replacing any previous
+// seed-* files (fuzz-discovered entries with hash names are left alone).
+func Write(dir string, seeds [][]byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	old, err := filepath.Glob(filepath.Join(dir, "seed-*"))
+	if err != nil {
+		return err
+	}
+	for _, f := range old {
+		if err := os.Remove(f); err != nil {
+			return err
+		}
+	}
+	for i, s := range seeds {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%03d", i))
+		if err := os.WriteFile(name, Encode(s), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load decodes every corpus file in dir, sorted by file name.
+func Load(dir string) ([][]byte, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make([][]byte, 0, len(names))
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		seed, err := Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", n, err)
+		}
+		out = append(out, seed)
+	}
+	return out, nil
+}
+
+// Missing returns the seeds not present (byte-exactly) in corpus.
+func Missing(corpus, seeds [][]byte) [][]byte {
+	have := make(map[string]bool, len(corpus))
+	for _, c := range corpus {
+		have[string(c)] = true
+	}
+	var out [][]byte
+	for _, s := range seeds {
+		if !have[string(s)] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

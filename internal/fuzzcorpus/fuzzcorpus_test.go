@@ -1,0 +1,67 @@
+package fuzzcorpus
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, seed := range [][]byte{
+		nil,
+		{},
+		[]byte("plain"),
+		{0x00, 0xff, 0x85, '\n', '"', '\\'},
+		bytes.Repeat([]byte{0xde, 0xad}, 300),
+	} {
+		got, err := Decode(Encode(seed))
+		if err != nil {
+			t.Fatalf("Decode(Encode(%q)): %v", seed, err)
+		}
+		if !bytes.Equal(got, seed) {
+			t.Errorf("round trip changed %x to %x", seed, got)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"go test fuzz v1",                       // header only
+		"wrong header\n[]byte(\"x\")\n",         // bad header
+		"go test fuzz v1\nint(7)\n",             // not a []byte entry
+		"go test fuzz v1\n[]byte(\"unclosed)\n", // bad literal
+	} {
+		if _, err := Decode([]byte(bad)); err == nil {
+			t.Errorf("Decode accepted %q", bad)
+		}
+	}
+}
+
+func TestWriteLoadMissing(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "FuzzX")
+	seeds := [][]byte{[]byte("a"), {0xff, 0x00}, {}}
+	if err := Write(dir, seeds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(seeds) {
+		t.Fatalf("loaded %d seeds, wrote %d", len(got), len(seeds))
+	}
+	if m := Missing(got, seeds); len(m) != 0 {
+		t.Errorf("%d seeds missing after write+load", len(m))
+	}
+	if m := Missing(got, append(seeds, []byte("new"))); len(m) != 1 {
+		t.Errorf("Missing did not flag the absent seed (got %d)", len(m))
+	}
+	// Rewriting with fewer seeds removes stale seed files.
+	if err := Write(dir, seeds[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = Load(dir); err != nil || len(got) != 1 {
+		t.Fatalf("after rewrite: %d seeds, err=%v", len(got), err)
+	}
+}

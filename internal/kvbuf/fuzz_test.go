@@ -2,7 +2,11 @@ package kvbuf
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
+
+	"mrmicro/internal/fuzzcorpus"
 )
 
 // fuzzSeedSegment builds a small valid IFile stream for the seed corpus.
@@ -14,23 +18,54 @@ func fuzzSeedSegment() []byte {
 	return w.Close().Bytes()
 }
 
+// fuzzSeeds is the named seed list behind both the in-process f.Add calls
+// and the checked-in testdata/fuzz corpus.
+func fuzzSeeds() [][]byte {
+	valid := fuzzSeedSegment()
+	flipped := bytes.Clone(valid)
+	flipped[len(flipped)/2] ^= 0x40
+	return [][]byte{
+		valid,
+		valid[:len(valid)-3],             // truncated inside the CRC trailer
+		valid[:len(valid)/2],             // truncated mid-record
+		append([]byte{0x85, 0x01}, 'x'),  // negative vint key length
+		append(bytes.Clone(valid), 0, 0), // trailing junk after the trailer
+		{},                               // empty stream
+		{0xff, 0xff, 0xff, 0xff},         // bare garbage
+		flipped,                          // bit flip mid-stream
+	}
+}
+
+// TestFuzzSeedCorpusSync pins the checked-in corpus to the seed list: every
+// seed must exist byte-exactly under testdata/fuzz, so plain `go test` fuzz
+// smoke runs are deterministic even if the writer's output format moves.
+// Regenerate with MRMICRO_WRITE_CORPUS=1 go test -run TestFuzzSeedCorpusSync.
+func TestFuzzSeedCorpusSync(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzIFileReader")
+	if os.Getenv("MRMICRO_WRITE_CORPUS") != "" {
+		if err := fuzzcorpus.Write(dir, fuzzSeeds()); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	corpus, err := fuzzcorpus.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := fuzzcorpus.Missing(corpus, fuzzSeeds()); len(m) != 0 {
+		t.Errorf("%d seeds missing from %s; regenerate with MRMICRO_WRITE_CORPUS=1", len(m), dir)
+	}
+}
+
 // FuzzIFileReader feeds arbitrary bytes through the IFile segment decoder:
 // Verify() and a full Next() iteration must reject truncated or corrupt
 // input with an error, never a panic or runaway allocation. The committed
 // seed corpus (valid, truncated, bit-flipped, trailing-junk, empty) also
 // runs as a regression test under plain `go test`.
 func FuzzIFileReader(f *testing.F) {
-	valid := fuzzSeedSegment()
-	f.Add(valid)
-	f.Add(valid[:len(valid)-3])             // truncated inside the CRC trailer
-	f.Add(valid[:len(valid)/2])             // truncated mid-record
-	f.Add(append([]byte{0x85, 0x01}, 'x'))  // negative vint key length
-	f.Add(append(bytes.Clone(valid), 0, 0)) // trailing junk after the trailer
-	f.Add([]byte{})                         // empty stream
-	f.Add([]byte{0xff, 0xff, 0xff, 0xff})   // bare garbage
-	flipped := bytes.Clone(valid)
-	flipped[len(flipped)/2] ^= 0x40
-	f.Add(flipped)
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		seg := SegmentFromBytes(data)

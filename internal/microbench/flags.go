@@ -1,0 +1,259 @@
+package microbench
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"mrmicro/internal/cliutil"
+	"mrmicro/internal/faultinject"
+	"mrmicro/internal/netsim"
+)
+
+// Flags binds the benchmark configuration to a flag.FlagSet, so every tool
+// that runs micro-benchmarks (mrbench, mrcheck) parses the exact same flag
+// vocabulary. Config.ReproFlags emits this vocabulary, which is what makes
+// a printed failure reproducible by pasting one line back into a CLI.
+type Flags struct {
+	pattern  string
+	network  string
+	cluster  string
+	engine   string
+	slaves   int
+	maps     int
+	reduces  int
+	kv       int
+	keySize  int
+	valSize  int
+	dataType string
+	size     string
+	pairs    int64
+	seed     int64
+	rdma     bool
+	copies   int
+	slow     float64
+	conf     cliutil.KVFlag
+
+	faultSeed     int64
+	faultMap      float64
+	faultReduce   float64
+	faultDrop     float64
+	faultTrunc    float64
+	faultSlow     float64
+	faultSlowness time.Duration
+	faultSpill    float64
+	faultRetries  int
+	faultFetches  int
+}
+
+// BindFlags registers the shared benchmark flags on fs and returns the
+// bound set. Call Config after fs.Parse.
+func BindFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.pattern, "pattern", "MR-AVG", "micro-benchmark: MR-AVG, MR-RAND or MR-SKEW")
+	fs.StringVar(&f.network, "network", netsim.OneGigE.Name, "interconnect profile (see mrcluster -profiles)")
+	fs.StringVar(&f.cluster, "cluster", "A", "testbed: A (OSU Westmere) or B (TACC Stampede)")
+	fs.StringVar(&f.engine, "engine", "mrv1", "Hadoop generation: mrv1 or yarn")
+	fs.IntVar(&f.slaves, "slaves", 4, "slave node count")
+	fs.IntVar(&f.maps, "maps", 0, "map tasks (default 4 per slave)")
+	fs.IntVar(&f.reduces, "reduces", 0, "reduce tasks (default 2 per slave)")
+	fs.IntVar(&f.kv, "kv", 1024, "key and value payload size in bytes")
+	fs.IntVar(&f.keySize, "keysize", 0, "key size override (bytes)")
+	fs.IntVar(&f.valSize, "valuesize", 0, "value size override (bytes)")
+	fs.StringVar(&f.dataType, "datatype", "BytesWritable", "intermediate data type: BytesWritable or Text")
+	fs.StringVar(&f.size, "size", "", "total shuffle data size (e.g. 16GB); overrides -pairs")
+	fs.Int64Var(&f.pairs, "pairs", 0, "key/value pairs per map task")
+	fs.Int64Var(&f.seed, "seed", 1, "seed for MR-RAND / MR-SKEW randomness")
+	fs.BoolVar(&f.rdma, "rdma", false, "use the RDMA-enhanced shuffle (MRoIB case study)")
+	fs.IntVar(&f.copies, "parallelcopies", 0, "concurrent shuffle fetch connections per reduce task (default 5, Hadoop's mapreduce.reduce.shuffle.parallelcopies)")
+	fs.Float64Var(&f.slow, "slowstart", 0, "completed-map fraction before reducers launch, for both the sim and the real executor (default 0.05, Hadoop's mapreduce.job.reduce.slowstart.completedmaps; 1.0 = strict barrier)")
+	fs.Var(&f.conf, "conf", "raw Hadoop conf override key=value (repeatable, e.g. -conf mapreduce.task.io.sort.mb=1)")
+
+	fs.Int64Var(&f.faultSeed, "fault-seed", 0, "seed for injected faults (default: -seed)")
+	fs.Float64Var(&f.faultMap, "fault-map-rate", 0, "probability a map attempt dies mid-shuffle-registration")
+	fs.Float64Var(&f.faultReduce, "fault-reduce-rate", 0, "probability a reduce attempt dies after its shuffle")
+	fs.Float64Var(&f.faultDrop, "fault-shuffle-drop", 0, "probability a shuffle fetch drops its connection")
+	fs.Float64Var(&f.faultTrunc, "fault-shuffle-truncate", 0, "probability a shuffle fetch delivers a truncated payload")
+	fs.Float64Var(&f.faultSlow, "fault-shuffle-slow", 0, "probability a shuffle fetch is served by a slow peer")
+	fs.DurationVar(&f.faultSlowness, "fault-shuffle-slowness", 0, "delay of an injected slow fetch (default 2ms)")
+	fs.Float64Var(&f.faultSpill, "fault-spill", 0, "probability a map-side spill hits a transient I/O error")
+	fs.IntVar(&f.faultRetries, "fault-max-attempts", 0, "task attempt bound under faults (default 4, Hadoop's mapreduce.map.maxattempts)")
+	fs.IntVar(&f.faultFetches, "fault-max-fetch-attempts", 0, "shuffle-fetch attempt bound per segment (default 4)")
+	return f
+}
+
+// Config materializes the parsed flags into a benchmark configuration.
+func (f *Flags) Config() (Config, error) {
+	cfg := Config{
+		Pattern:        Pattern(f.pattern),
+		Network:        f.network,
+		Cluster:        ClusterID(f.cluster),
+		Engine:         Engine(f.engine),
+		Slaves:         f.slaves,
+		NumMaps:        f.maps,
+		NumReduces:     f.reduces,
+		KeySize:        pickInt(f.keySize, f.kv),
+		ValueSize:      pickInt(f.valSize, f.kv),
+		DataType:       f.dataType,
+		PairsPerMap:    f.pairs,
+		Seed:           f.seed,
+		RDMAShuffle:    f.rdma,
+		ParallelCopies: f.copies,
+		Slowstart:      f.slow,
+		ExtraConf:      f.conf.Map(),
+	}
+	if f.faultMap > 0 || f.faultReduce > 0 || f.faultDrop > 0 || f.faultTrunc > 0 ||
+		f.faultSlow > 0 || f.faultSpill > 0 {
+		cfg.Faults = &faultinject.Plan{
+			Seed:                pickInt64(f.faultSeed, f.seed),
+			MapFailureRate:      f.faultMap,
+			ReduceFailureRate:   f.faultReduce,
+			ShuffleDropRate:     f.faultDrop,
+			ShuffleTruncateRate: f.faultTrunc,
+			ShuffleSlowRate:     f.faultSlow,
+			ShuffleSlowness:     f.faultSlowness,
+			SpillErrorRate:      f.faultSpill,
+			MaxTaskAttempts:     f.faultRetries,
+			MaxFetchAttempts:    f.faultFetches,
+		}
+	}
+	if f.size != "" {
+		n, err := cliutil.ParseSize(f.size)
+		if err != nil {
+			return cfg, fmt.Errorf("-size: %w", err)
+		}
+		cfg = cfg.WithShuffleSize(n)
+	}
+	return cfg, nil
+}
+
+// ParseRepro parses a flag-form argument vector (the output of ReproFlags)
+// back into the configuration it encodes.
+func ParseRepro(args []string) (Config, error) {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	f := BindFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return Config{}, err
+	}
+	if fs.NArg() > 0 {
+		return Config{}, fmt.Errorf("unexpected non-flag arguments %q", fs.Args())
+	}
+	return f.Config()
+}
+
+// ReproFlags encodes the configuration as the argument vector BindFlags
+// parses, with every default spelled out, so
+// ParseRepro(cfg.ReproFlags()).Normalize() == cfg.Normalize(). Fields with
+// no flag form are not representable: per-task forced failure counts
+// (Plan.MapFailures/ReduceFailures), a custom cost Model, and
+// MonitorInterval are all omitted.
+func (c Config) ReproFlags() []string {
+	if n, err := c.withDefaults(); err == nil {
+		c = n
+	}
+	args := []string{
+		"-pattern", string(c.Pattern),
+		"-datatype", c.DataType,
+		"-keysize", strconv.Itoa(c.KeySize),
+		"-valuesize", strconv.Itoa(c.ValueSize),
+		"-pairs", strconv.FormatInt(c.PairsPerMap, 10),
+		"-maps", strconv.Itoa(c.NumMaps),
+		"-reduces", strconv.Itoa(c.NumReduces),
+		"-slaves", strconv.Itoa(c.Slaves),
+		"-engine", string(c.Engine),
+		"-cluster", string(c.Cluster),
+		"-network", c.Network,
+		"-seed", strconv.FormatInt(c.Seed, 10),
+		"-slowstart", formatFloat(c.Slowstart),
+		"-parallelcopies", strconv.Itoa(c.ParallelCopies),
+	}
+	if c.RDMAShuffle {
+		args = append(args, "-rdma")
+	}
+	keys := make([]string, 0, len(c.ExtraConf))
+	for k := range c.ExtraConf {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		args = append(args, "-conf", k+"="+c.ExtraConf[k])
+	}
+	if p := c.Faults; p != nil {
+		args = append(args, "-fault-seed", strconv.FormatInt(p.Seed, 10))
+		for _, rf := range []struct {
+			flag string
+			rate float64
+		}{
+			{"-fault-map-rate", p.MapFailureRate},
+			{"-fault-reduce-rate", p.ReduceFailureRate},
+			{"-fault-shuffle-drop", p.ShuffleDropRate},
+			{"-fault-shuffle-truncate", p.ShuffleTruncateRate},
+			{"-fault-shuffle-slow", p.ShuffleSlowRate},
+			{"-fault-spill", p.SpillErrorRate},
+		} {
+			if rf.rate > 0 {
+				args = append(args, rf.flag, formatFloat(rf.rate))
+			}
+		}
+		if p.ShuffleSlowness > 0 {
+			args = append(args, "-fault-shuffle-slowness", p.ShuffleSlowness.String())
+		}
+		if p.MaxTaskAttempts > 0 {
+			args = append(args, "-fault-max-attempts", strconv.Itoa(p.MaxTaskAttempts))
+		}
+		if p.MaxFetchAttempts > 0 {
+			args = append(args, "-fault-max-fetch-attempts", strconv.Itoa(p.MaxFetchAttempts))
+		}
+	}
+	return args
+}
+
+// Repro renders ReproFlags as one shell-pasteable line.
+func (c Config) Repro() string {
+	args := c.ReproFlags()
+	quoted := make([]string, len(args))
+	for i, a := range args {
+		quoted[i] = shellQuote(a)
+	}
+	return strings.Join(quoted, " ")
+}
+
+// formatFloat renders a float with round-trip precision.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// shellQuote single-quotes an argument when it contains characters a shell
+// would interpret (the network profile names contain parentheses).
+func shellQuote(s string) string {
+	if s == "" {
+		return "''"
+	}
+	plain := true
+	for _, r := range s {
+		if !(r == '-' || r == '.' || r == '_' || r == '=' || r == '/' ||
+			(r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')) {
+			plain = false
+			break
+		}
+	}
+	if plain {
+		return s
+	}
+	return "'" + strings.ReplaceAll(s, "'", `'\''`) + "'"
+}
+
+func pickInt(override, def int) int {
+	if override > 0 {
+		return override
+	}
+	return def
+}
+
+func pickInt64(override, def int64) int64 {
+	if override != 0 {
+		return override
+	}
+	return def
+}

@@ -1,0 +1,105 @@
+package microbench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mrmicro/internal/faultinject"
+)
+
+// TestReproRoundTrip is the contract behind every repro line mrcheck prints:
+// parsing a config's flag form through the same binder mrbench/mrcheck use
+// must reproduce the exact (normalized) config.
+func TestReproRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{name: "defaults", cfg: Config{PairsPerMap: 100}},
+		{
+			name: "explicit everything",
+			cfg: Config{
+				Pattern:        MRSkew,
+				KeySize:        17,
+				ValueSize:      4096,
+				PairsPerMap:    12345,
+				DataType:       "Text",
+				NumMaps:        7,
+				NumReduces:     3,
+				ParallelCopies: 2,
+				Slowstart:      0.33,
+				Engine:         EngineYARN,
+				Cluster:        "B",
+				Network:        "RDMA-FDR(56Gbps)",
+				RDMAShuffle:    true,
+				Slaves:         8,
+				Seed:           99,
+			},
+		},
+		{
+			name: "extra conf",
+			cfg: Config{
+				Pattern:     MRRand,
+				PairsPerMap: 10,
+				ExtraConf: map[string]string{
+					"mapreduce.task.io.sort.mb":     "1",
+					"mapreduce.task.io.sort.factor": "4",
+				},
+			},
+		},
+		{
+			name: "fault plan",
+			cfg: Config{
+				Pattern:     MRAvg,
+				PairsPerMap: 50,
+				Seed:        7,
+				Faults: &faultinject.Plan{
+					Seed:                11,
+					MapFailureRate:      0.25,
+					ShuffleDropRate:     0.125,
+					ShuffleTruncateRate: 0.0625,
+					ShuffleSlowRate:     0.5,
+					ShuffleSlowness:     250 * time.Microsecond,
+					SpillErrorRate:      0.1,
+					MaxTaskAttempts:     6,
+					MaxFetchAttempts:    5,
+				},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := tc.cfg.Normalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			args := tc.cfg.ReproFlags()
+			parsed, err := ParseRepro(args)
+			if err != nil {
+				t.Fatalf("ParseRepro(%q): %v", args, err)
+			}
+			got, err := parsed.Normalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("round trip mismatch\n args: %q\n got:  %+v\n want: %+v", args, got, want)
+			}
+		})
+	}
+}
+
+// TestReproShellQuoting: the one-line form must quote arguments a shell would
+// mangle (network profile names contain parentheses) and leave plain ones bare.
+func TestReproShellQuoting(t *testing.T) {
+	cfg := Config{PairsPerMap: 10, Network: "IPoIB-QDR(32Gbps)"}
+	line := cfg.Repro()
+	if !strings.Contains(line, "'IPoIB-QDR(32Gbps)'") {
+		t.Errorf("network profile not quoted in %q", line)
+	}
+	if strings.Contains(line, "'MR-AVG'") {
+		t.Errorf("plain argument needlessly quoted in %q", line)
+	}
+}

@@ -157,3 +157,18 @@ func SerializedPairLen(dataType string, keySize, valueSize int) (int, error) {
 	}
 	return writable.VLongEncodedLen(int64(kl)) + writable.VLongEncodedLen(int64(vl)) + kl + vl, nil
 }
+
+// RawPairLen returns the raw serialized bytes of one intermediate record —
+// the type's own wire framing but no IFile record-length headers. This is
+// what Hadoop's (and localrun's) MAP_OUTPUT_BYTES counter charges per pair.
+func RawPairLen(dataType string, keySize, valueSize int) (int, error) {
+	switch dataType {
+	case "BytesWritable":
+		return 4 + keySize + 4 + valueSize, nil
+	case "Text":
+		return writable.VLongEncodedLen(int64(keySize)) + keySize +
+			writable.VLongEncodedLen(int64(valueSize)) + valueSize, nil
+	default:
+		return 0, fmt.Errorf("microbench: unsupported data type %q", dataType)
+	}
+}

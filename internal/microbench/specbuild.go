@@ -12,6 +12,12 @@ import (
 // below run-to-run variance on real clusters).
 const maxExactDraws = 1 << 22
 
+// MaxExactSpecDraws is the per-map pair count up to which BuildSpec's
+// intermediate-data matrix is draw-exact rather than sampled. Differential
+// checks that compare the sim's matrix against independent oracles
+// (internal/mrcheck) must generate below this bound.
+const MaxExactSpecDraws = maxExactDraws
+
 // BuildSpec resolves a benchmark configuration into the simulated engines'
 // JobSpec by running the *real* partitioner implementations over each map
 // task's record stream — the same code localrun executes — and tallying the
@@ -22,6 +28,10 @@ func BuildSpec(cfg Config) (*mrsim.JobSpec, error) {
 		return nil, err
 	}
 	pairLen, err := SerializedPairLen(cfg.DataType, cfg.KeySize, cfg.ValueSize)
+	if err != nil {
+		return nil, err
+	}
+	rawPairLen, err := RawPairLen(cfg.DataType, cfg.KeySize, cfg.ValueSize)
 	if err != nil {
 		return nil, err
 	}
@@ -47,10 +57,11 @@ func BuildSpec(cfg Config) (*mrsim.JobSpec, error) {
 	}
 
 	spec := &mrsim.JobSpec{
-		Name:       cfg.Label(),
-		Conf:       cfg.HadoopConf(),
-		Partitions: parts,
-		TypeFactor: typeFactor,
+		Name:              cfg.Label(),
+		Conf:              cfg.HadoopConf(),
+		Partitions:        parts,
+		TypeFactor:        typeFactor,
+		MapOutputRawBytes: int64(cfg.NumMaps) * cfg.PairsPerMap * int64(rawPairLen),
 	}
 	if cfg.Faults != nil {
 		spec.Plan = *cfg.Faults

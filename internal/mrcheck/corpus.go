@@ -1,0 +1,56 @@
+package mrcheck
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"mrmicro/internal/microbench"
+)
+
+// Corpus files (*.repro) store one past-failing configuration in flag form,
+// whitespace-separated with '#' comments — the same vocabulary a repro line
+// carries after `mrcheck -replay --`, but unquoted so no shell is involved.
+
+// LoadRepro reads one corpus file into the configuration it pins.
+func LoadRepro(path string) (microbench.Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return microbench.Config{}, err
+	}
+	var args []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		args = append(args, strings.Fields(line)...)
+	}
+	if len(args) == 0 {
+		return microbench.Config{}, fmt.Errorf("mrcheck: corpus file %s holds no flags", path)
+	}
+	cfg, err := microbench.ParseRepro(args)
+	if err != nil {
+		return microbench.Config{}, fmt.Errorf("mrcheck: corpus file %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// SaveRepro writes cfg as a corpus file, one flag pair per line, with a
+// header comment naming the invariant it once violated.
+func SaveRepro(path string, cfg microbench.Config, note string) error {
+	args := cfg.ReproFlags()
+	var b strings.Builder
+	if note != "" {
+		fmt.Fprintf(&b, "# %s\n", note)
+	}
+	for i := 0; i < len(args); {
+		if i+1 < len(args) && strings.HasPrefix(args[i], "-") && !strings.HasPrefix(args[i+1], "-") {
+			fmt.Fprintf(&b, "%s %s\n", args[i], args[i+1])
+			i += 2
+		} else {
+			fmt.Fprintf(&b, "%s\n", args[i])
+			i++
+		}
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

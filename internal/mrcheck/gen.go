@@ -1,0 +1,147 @@
+// Package mrcheck is the suite's property-based differential tester: it
+// generates random-but-valid benchmark configurations, runs each through the
+// real executor (internal/localrun) and the simulated engines (mrv1, yarn),
+// and checks a library of cross-engine invariants — partition-stream oracles
+// per pattern, counter identity, byte-identical reduce output against the
+// barrier schedule, shuffle-byte accounting, and recovery equivalence under
+// injected faults. Failing configurations are shrunk greedily before being
+// reported with a one-line flag-form repro (microbench.Config.Repro).
+//
+// The package exists because the suite is a measurement instrument: its
+// numbers are only meaningful if every engine computes the same MapReduce
+// semantics at every slowstart/parallel-copies/fault setting.
+package mrcheck
+
+import (
+	"math/rand"
+	"time"
+
+	"mrmicro/internal/faultinject"
+	"mrmicro/internal/microbench"
+)
+
+// GenOptions tunes the configuration generator.
+type GenOptions struct {
+	// MaxShuffleBytes caps a generated job's intermediate data volume so a
+	// check run's cost is bounded. Zero means 512 KiB.
+	MaxShuffleBytes int64
+
+	// Faults makes the generator attach a seeded fault plan to (roughly half
+	// of) the generated configs.
+	Faults bool
+}
+
+func (o GenOptions) maxShuffleBytes() int64 {
+	if o.MaxShuffleBytes > 0 {
+		return o.MaxShuffleBytes
+	}
+	return 512 << 10
+}
+
+// Generate derives iteration i of suite seed's configuration stream. The
+// stream is pure: (seed, i, opts) always yields the same config, so any
+// iteration can be replayed in isolation.
+func Generate(seed int64, i int, opts GenOptions) microbench.Config {
+	// Mix the iteration into the seed (splitmix64-style) so neighbouring
+	// iterations draw unrelated streams.
+	z := uint64(seed) + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4B9B1
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	rng := rand.New(rand.NewSource(int64(z ^ (z >> 31))))
+
+	patterns := microbench.Patterns()
+	cfg := microbench.Config{
+		Pattern:    patterns[rng.Intn(len(patterns))],
+		DataType:   pickOne(rng, "BytesWritable", "BytesWritable", "Text"),
+		Slaves:     1 + rng.Intn(4),
+		NumMaps:    1 + rng.Intn(8),
+		NumReduces: 1 + rng.Intn(6),
+		// Log-uniform payload sizes over the paper's 1B–64KB parameter range,
+		// biased small so most configs are cheap.
+		KeySize:   logUniform(rng, 1, 64<<10),
+		ValueSize: logUniform(rng, 1, 64<<10),
+		Seed:      rng.Int63(),
+		// Exercise the scheduler knobs the conformance contract spans.
+		Slowstart:      pickFloat(rng, 0.05, 0.25, 0.5, 1.0),
+		ParallelCopies: rng.Intn(5), // 0 = Hadoop default
+	}
+
+	// Occasionally force tiny sort buffers / merge fan-in so multi-spill and
+	// on-disk merge paths run, not just the single-spill fast path.
+	if rng.Intn(3) == 0 {
+		cfg.ExtraConf = map[string]string{
+			"mapreduce.task.io.sort.mb":     pickOne(rng, "1", "1", "2"),
+			"mapreduce.task.io.sort.factor": pickOne(rng, "2", "3", "4"),
+		}
+	}
+
+	// Size the record stream to the byte budget, keeping draws exact for the
+	// partition oracles and at least one record per map.
+	pairLen, err := microbench.SerializedPairLen(cfg.DataType, cfg.KeySize, cfg.ValueSize)
+	if err != nil {
+		panic(err) // generated from the valid domain; unreachable
+	}
+	maxPairs := opts.maxShuffleBytes() / int64(cfg.NumMaps) / int64(pairLen)
+	if maxPairs < 1 {
+		maxPairs = 1
+	}
+	if maxPairs >= microbench.MaxExactSpecDraws {
+		maxPairs = microbench.MaxExactSpecDraws - 1
+	}
+	cfg.PairsPerMap = 1 + rng.Int63n(maxPairs)
+
+	if opts.Faults && rng.Intn(2) == 0 {
+		cfg.Faults = genPlan(rng)
+	}
+	return cfg
+}
+
+// genPlan draws a modest fault plan: enough injected failures to exercise
+// recovery, generous attempt bounds so legal exhaustion (a Skip, not a
+// Failure) stays rare, and microsecond backoff so checks stay fast.
+func genPlan(rng *rand.Rand) *faultinject.Plan {
+	p := &faultinject.Plan{
+		Seed:             rng.Int63(),
+		MaxTaskAttempts:  8,
+		MaxFetchAttempts: 8,
+		ShuffleSlowness:  100 * time.Microsecond,
+	}
+	for _, r := range []*float64{
+		&p.MapFailureRate, &p.ReduceFailureRate, &p.ShuffleDropRate,
+		&p.ShuffleTruncateRate, &p.ShuffleSlowRate, &p.SpillErrorRate,
+	} {
+		if rng.Intn(3) == 0 {
+			*r = 0.05 + 0.25*rng.Float64()
+		}
+	}
+	if !p.Enabled() {
+		// Guarantee at least one active site so -faults runs inject something.
+		p.ShuffleDropRate = 0.2
+	}
+	return p
+}
+
+// logUniform draws from [lo, hi] uniformly in log2 space.
+func logUniform(rng *rand.Rand, lo, hi int) int {
+	bits := 0
+	for 1<<bits < hi/lo {
+		bits++
+	}
+	v := lo << rng.Intn(bits+1)
+	if v > hi {
+		v = hi
+	}
+	// Jitter within the chosen octave so sizes aren't all powers of two.
+	if v > 1 {
+		v = v/2 + rng.Intn(v/2+1)
+	}
+	return v
+}
+
+func pickOne(rng *rand.Rand, choices ...string) string {
+	return choices[rng.Intn(len(choices))]
+}
+
+func pickFloat(rng *rand.Rand, choices ...float64) float64 {
+	return choices[rng.Intn(len(choices))]
+}

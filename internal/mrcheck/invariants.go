@@ -1,0 +1,389 @@
+package mrcheck
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"mrmicro/internal/faultinject"
+	"mrmicro/internal/javarand"
+	"mrmicro/internal/kvbuf"
+	"mrmicro/internal/localrun"
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/microbench"
+	"mrmicro/internal/writable"
+)
+
+// Failure is one invariant violation: the config that triggered it (shrunk
+// by the caller before reporting), the invariant's machine name, and detail.
+type Failure struct {
+	Config    microbench.Config
+	Invariant string
+	Detail    string
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("mrcheck: invariant %s violated: %s", f.Invariant, f.Detail)
+}
+
+// SkipError marks a run that cannot be checked rather than a wrong one: the
+// generated fault plan legally exhausted its attempt bounds, which is the
+// recovery machinery working as specified.
+type SkipError struct{ Err error }
+
+func (s *SkipError) Error() string { return fmt.Sprintf("mrcheck: skipped: %v", s.Err) }
+func (s *SkipError) Unwrap() error { return s.Err }
+
+// CheckOptions tunes one invariant check.
+type CheckOptions struct {
+	// Engines lists the simulated engines to differentially test against the
+	// real executor. Nil checks both mrv1 and yarn; an empty non-nil slice
+	// checks only the real executor's own invariants.
+	Engines []microbench.Engine
+
+	// MutateJob, when non-nil, is applied to every localrun job before it
+	// runs. It exists for the harness's self-test: injecting a deliberate
+	// semantic mutation (e.g. flipping a partitioner decision) must make
+	// CheckConfig fail — a harness that passes mutated jobs is vacuous.
+	MutateJob func(*mapreduce.Job)
+}
+
+func (o CheckOptions) engines() []microbench.Engine {
+	if o.Engines != nil {
+		return o.Engines
+	}
+	return []microbench.Engine{microbench.EngineMRv1, microbench.EngineYARN}
+}
+
+// segOverhead is the fixed per-segment wire framing localrun's shuffle
+// counts beyond the records themselves (IFile EOF marker + checksum),
+// measured from an empty segment rather than hard-coded.
+var segOverhead = int64(func() int {
+	seg := kvbuf.NewWriter(8).Close()
+	defer seg.Recycle()
+	return seg.Len()
+}())
+
+// fastBackoff keeps injected-fault retries at memory speed during checks.
+var fastBackoff = faultinject.Backoff{Base: 50 * time.Microsecond, Max: time.Millisecond}
+
+// CheckConfig runs every invariant over one configuration. It returns nil
+// when all hold, a *Failure for a violation, a *SkipError when the config's
+// fault plan legally exhausted its retry budget, and a plain error for
+// infrastructure problems.
+func CheckConfig(cfg microbench.Config, opts CheckOptions) error {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return fmt.Errorf("mrcheck: config does not normalize: %w", err)
+	}
+	if cfg.PairsPerMap >= microbench.MaxExactSpecDraws {
+		return fmt.Errorf("mrcheck: PairsPerMap %d at or above the exact-spec bound %d; oracles would be sampled",
+			cfg.PairsPerMap, microbench.MaxExactSpecDraws)
+	}
+
+	oracle := oracleMatrix(cfg)
+	total := cfg.PairsPerMap * int64(cfg.NumMaps)
+	pairLen, err := microbench.SerializedPairLen(cfg.DataType, cfg.KeySize, cfg.ValueSize)
+	if err != nil {
+		return err
+	}
+	rawPairLen, err := microbench.RawPairLen(cfg.DataType, cfg.KeySize, cfg.ValueSize)
+	if err != nil {
+		return err
+	}
+	specBytes := total * int64(pairLen)
+	segments := int64(cfg.NumMaps) * int64(cfg.NumReduces)
+
+	// Invariant: the resolved JobSpec's intermediate-data matrix equals the
+	// independent per-pattern oracle, record- and byte-exactly.
+	spec, err := microbench.BuildSpec(cfg)
+	if err != nil {
+		return err
+	}
+	for m := range oracle {
+		for r, want := range oracle[m] {
+			seg := spec.Partitions[m][r]
+			if seg.Records != want {
+				return &Failure{cfg, "partition-oracle/spec", fmt.Sprintf(
+					"map %d -> reduce %d: spec has %d records, %s oracle says %d", m, r, seg.Records, cfg.Pattern, want)}
+			}
+			if seg.Bytes != want*int64(pairLen) {
+				return &Failure{cfg, "spec-bytes", fmt.Sprintf(
+					"map %d -> reduce %d: %d bytes for %d records of %dB", m, r, seg.Bytes, want, pairLen)}
+			}
+		}
+	}
+
+	// Real executor, clean (faults stripped): the reference run.
+	clean, err := runLocal(cfg, false, opts.MutateJob)
+	if err != nil {
+		return err
+	}
+	for r := 0; r < cfg.NumReduces; r++ {
+		var want int64
+		for m := range oracle {
+			want += oracle[m][r]
+		}
+		if got := clean.perReduce[r]; got != want {
+			return &Failure{cfg, "partition-oracle/localrun", fmt.Sprintf(
+				"reduce %d received %d records, %s oracle says %d", r, got, cfg.Pattern, want)}
+		}
+	}
+	for _, iv := range []struct {
+		name string
+		ctr  string
+		want int64
+	}{
+		{"counter/map-output-records", mapreduce.CtrMapOutputRecords, total},
+		{"counter/reduce-input-records", mapreduce.CtrReduceInputRecords, total},
+		{"counter/map-output-bytes", mapreduce.CtrMapOutputBytes, total * int64(rawPairLen)},
+		{"counter/shuffled-maps", mapreduce.CtrShuffledMaps, segments},
+		{"counter/shuffle-bytes", mapreduce.CtrReduceShuffleBytes, specBytes + segments*segOverhead},
+	} {
+		if got := clean.counters.Task(iv.ctr); got != iv.want {
+			return &Failure{cfg, iv.name, fmt.Sprintf("localrun %s=%d, want %d", iv.ctr, got, iv.want)}
+		}
+	}
+
+	// Invariant: the overlapped schedule vs the strict barrier may move time,
+	// never bytes — output, counters and distribution must be identical.
+	if cfg.Slowstart != 1.0 {
+		bcfg := cfg
+		bcfg.Slowstart = 1.0
+		barrier, err := runLocal(bcfg, false, opts.MutateJob)
+		if err != nil {
+			return err
+		}
+		if barrier.digest != clean.digest {
+			return &Failure{cfg, "barrier-identity/output", fmt.Sprintf(
+				"reduce output at slowstart=%g is not byte-identical to the barrier path", cfg.Slowstart)}
+		}
+		if got, want := barrier.counters.String(), clean.counters.String(); got != want {
+			return &Failure{cfg, "barrier-identity/counters", fmt.Sprintf(
+				"counters differ across slowstart:\nbarrier:\n%s\noverlapped:\n%s", got, want)}
+		}
+	}
+
+	// Invariant: recovery equivalence — the same job under its injected fault
+	// plan must produce the clean run's output and task counters exactly.
+	if cfg.Faults != nil {
+		faulted, err := runLocal(cfg, true, opts.MutateJob)
+		if errors.Is(err, faultinject.ErrInjected) {
+			return &SkipError{err}
+		}
+		if err != nil {
+			return err
+		}
+		if faulted.digest != clean.digest {
+			return &Failure{cfg, "recovery/output", "reduce output under injected faults differs from the clean run"}
+		}
+		for _, ctr := range taskIdentityCounters {
+			if got, want := faulted.counters.Task(ctr), clean.counters.Task(ctr); got != want {
+				return &Failure{cfg, "recovery/counters", fmt.Sprintf(
+					"task counter %s=%d under faults, %d clean", ctr, got, want)}
+			}
+		}
+	}
+
+	// Simulated engines: counter identity with the real executor, clean and
+	// under the same fault plan.
+	for _, engine := range opts.engines() {
+		ecfg := cfg
+		ecfg.Engine = engine
+		ecfg.Faults = nil
+		res, err := microbench.Run(ecfg)
+		if err != nil {
+			return err
+		}
+		c := res.Report.Counters
+		for _, iv := range []struct {
+			name string
+			ctr  string
+			want int64
+		}{
+			{"cross-engine/map-output-records", mapreduce.CtrMapOutputRecords, total},
+			{"cross-engine/reduce-input-records", mapreduce.CtrReduceInputRecords, total},
+			{"cross-engine/map-output-bytes", mapreduce.CtrMapOutputBytes, clean.counters.Task(mapreduce.CtrMapOutputBytes)},
+			{"cross-engine/shuffled-maps", mapreduce.CtrShuffledMaps, segments},
+			{"cross-engine/shuffle-bytes", mapreduce.CtrReduceShuffleBytes, specBytes},
+		} {
+			if got := c.Task(iv.ctr); got != iv.want {
+				return &Failure{cfg, iv.name, fmt.Sprintf("%s %s=%d, want %d", engine, iv.ctr, got, iv.want)}
+			}
+		}
+		if res.ShuffleBytes != specBytes {
+			return &Failure{cfg, "cross-engine/shuffle-bytes", fmt.Sprintf(
+				"%s moved %d shuffle bytes, spec says %d", engine, res.ShuffleBytes, specBytes)}
+		}
+
+		if cfg.Faults != nil {
+			fcfg := cfg
+			fcfg.Engine = engine
+			fres, err := microbench.Run(fcfg)
+			if err != nil {
+				return err
+			}
+			fc := fres.Report.Counters
+			for _, ctr := range []string{mapreduce.CtrMapOutputRecords, mapreduce.CtrMapOutputBytes,
+				mapreduce.CtrReduceInputRecords, mapreduce.CtrShuffledMaps} {
+				if got, want := fc.Task(ctr), c.Task(ctr); got != want {
+					return &Failure{cfg, "recovery/sim-counters", fmt.Sprintf(
+						"%s task counter %s=%d under faults, %d clean", engine, ctr, got, want)}
+				}
+			}
+			// Refetches may re-move bytes, never lose them.
+			if got := fc.Task(mapreduce.CtrReduceShuffleBytes); got < specBytes {
+				return &Failure{cfg, "recovery/sim-shuffle-bytes", fmt.Sprintf(
+					"%s moved %d shuffle bytes under faults, below the spec's %d", engine, got, specBytes)}
+			}
+		}
+	}
+	return nil
+}
+
+// taskIdentityCounters are the task counters that must be unchanged by fault
+// recovery: only winning attempts merge, so injected failures may only show
+// up in the fault counter group.
+var taskIdentityCounters = []string{
+	mapreduce.CtrMapOutputRecords,
+	mapreduce.CtrMapOutputBytes,
+	mapreduce.CtrReduceInputRecords,
+	mapreduce.CtrReduceOutputRecords,
+	mapreduce.CtrShuffledMaps,
+	mapreduce.CtrReduceShuffleBytes,
+}
+
+// oracleMatrix computes the expected per-(map, reduce) record counts from
+// the pattern definitions alone — round-robin arithmetic for MR-AVG, a
+// replayed java.util.Random stream for MR-RAND, prefix thresholds plus a
+// replayed random tail for MR-SKEW — independent of the partitioner
+// implementations under test.
+func oracleMatrix(cfg microbench.Config) [][]int64 {
+	out := make([][]int64, cfg.NumMaps)
+	p, rr := cfg.PairsPerMap, int64(cfg.NumReduces)
+	for m := range out {
+		counts := make([]int64, cfg.NumReduces)
+		seed := cfg.Seed + int64(m)*7919 // the per-map seed both builders use
+		switch cfg.Pattern {
+		case microbench.MRAvg:
+			for r := range counts {
+				counts[r] = p / rr
+				if int64(r) < p%rr {
+					counts[r]++
+				}
+			}
+		case microbench.MRRand:
+			rng := javarand.New(seed)
+			for i := int64(0); i < p; i++ {
+				counts[rng.NextIntn(int32(rr))]++
+			}
+		case microbench.MRSkew:
+			n0 := p / 2
+			n1 := (p - n0) / 4
+			n2 := (p - n0 - n1) / 8
+			t0, t1, t2 := n0, n0+n1, n0+n1+n2
+			rng := javarand.New(seed)
+			for i := int64(0); i < p; i++ {
+				switch {
+				case i < t0:
+					counts[0]++
+				case i < t1 && rr > 1:
+					counts[1]++
+				case i < t2 && rr > 2:
+					counts[2]++
+				default:
+					counts[rng.NextIntn(int32(rr))]++
+				}
+			}
+		}
+		out[m] = counts
+	}
+	return out
+}
+
+// localSummary is one real execution reduced to what invariants compare.
+type localSummary struct {
+	perReduce []int64
+	counters  *mapreduce.Counters
+	digest    string // sha256 over the captured reduce output
+}
+
+// runLocal executes cfg on the real executor with the output captured: the
+// discard reducer is replaced by one that emits, per key group, a value
+// folding the group's record count with an order-insensitive hash of the
+// value payloads — so dropped, duplicated, truncated or corrupted records
+// all surface in the digest, at any schedule.
+func runLocal(cfg microbench.Config, withFaults bool, mutate func(*mapreduce.Job)) (*localSummary, error) {
+	job, err := microbench.BuildJob(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &mapreduce.MemoryOutput{}
+	job.Output = out
+	job.Reducer = func() mapreduce.Reducer { return checkReducer() }
+	if mutate != nil {
+		mutate(job)
+	}
+	lopts := &localrun.Options{
+		ParallelCopies: cfg.ParallelCopies,
+		Slowstart:      cfg.Slowstart,
+		FetchBackoff:   fastBackoff,
+	}
+	if withFaults {
+		lopts.Faults = cfg.Faults
+	}
+	res, err := localrun.Run(job, lopts)
+	if err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	for r := 0; r < cfg.NumReduces; r++ {
+		binary.Write(h, binary.BigEndian, int64(r))
+		for _, pair := range out.Pairs(r) {
+			kb := writableBytes(pair.Key)
+			binary.Write(h, binary.BigEndian, int64(len(kb)))
+			h.Write(kb)
+			binary.Write(h, binary.BigEndian, pair.Value.(*writable.LongWritable).Value)
+		}
+	}
+	return &localSummary{
+		perReduce: res.PerReduceRecords,
+		counters:  res.Counters,
+		digest:    fmt.Sprintf("%x", h.Sum(nil)),
+	}, nil
+}
+
+// checkReducer counts each group's records and folds every value payload
+// into an order-insensitive hash, emitting the mix as the group's output.
+func checkReducer() mapreduce.Reducer {
+	return mapreduce.ReducerFunc(func(k writable.Writable, vs mapreduce.ValueIterator, o mapreduce.Collector, _ mapreduce.Reporter) error {
+		var count, fold uint64
+		for {
+			v, ok := vs.Next()
+			if !ok {
+				break
+			}
+			f := fnv.New64a()
+			f.Write(writableBytes(v))
+			fold += f.Sum64() // addition: order-insensitive across schedules
+			count++
+		}
+		key := &writable.BytesWritable{Data: append([]byte(nil), writableBytes(k)...)}
+		return o.Collect(key, &writable.LongWritable{Value: int64(fold + count*0x9E3779B97F4A7C15)})
+	})
+}
+
+// writableBytes extracts a writable's payload for hashing.
+func writableBytes(w writable.Writable) []byte {
+	switch v := w.(type) {
+	case *writable.BytesWritable:
+		return v.Data
+	case *writable.Text:
+		return v.Data
+	default:
+		return []byte(fmt.Sprintf("%v", w))
+	}
+}

@@ -1,0 +1,270 @@
+package mrcheck
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/microbench"
+	"mrmicro/internal/writable"
+)
+
+// TestGenerateDeterministic: (seed, i) fully determines the config — replaying
+// any iteration in isolation must reproduce it exactly.
+func TestGenerateDeterministic(t *testing.T) {
+	opts := GenOptions{Faults: true}
+	for i := 0; i < 20; i++ {
+		a := Generate(42, i, opts)
+		b := Generate(42, i, opts)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("iteration %d not deterministic:\n%+v\nvs\n%+v", i, a, b)
+		}
+	}
+	if reflect.DeepEqual(Generate(42, 0, opts), Generate(42, 1, opts)) {
+		t.Error("consecutive iterations generated identical configs")
+	}
+	if reflect.DeepEqual(Generate(1, 0, opts), Generate(2, 0, opts)) {
+		t.Error("different seeds generated identical configs")
+	}
+}
+
+// TestGeneratedConfigsValid: every generated config normalizes, stays under
+// the exact-oracle draw bound, and respects the byte budget (modulo the
+// one-pair-per-map floor).
+func TestGeneratedConfigsValid(t *testing.T) {
+	opts := GenOptions{Faults: true}
+	for i := 0; i < 100; i++ {
+		cfg := Generate(7, i, opts)
+		n, err := cfg.Normalize()
+		if err != nil {
+			t.Fatalf("iteration %d does not normalize: %v\n%+v", i, err, cfg)
+		}
+		if n.PairsPerMap >= microbench.MaxExactSpecDraws {
+			t.Errorf("iteration %d: %d pairs/map reaches the sampled-spec regime", i, n.PairsPerMap)
+		}
+		pairLen := int64(n.PairLen())
+		budget := opts.maxShuffleBytes() + int64(n.NumMaps)*pairLen // one-pair floor slack
+		if vol := n.PairsPerMap * int64(n.NumMaps) * pairLen; vol > budget {
+			t.Errorf("iteration %d: %d shuffle bytes exceeds budget %d", i, vol, budget)
+		}
+	}
+}
+
+// TestProperty is the go-test wiring of the property suite: a short-mode
+// bounded number of generated configs, clean and fault-injected, through the
+// full invariant library. A failure prints the exact repro line the CLI would.
+func TestProperty(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 6
+	}
+	for _, tc := range []struct {
+		name string
+		gen  GenOptions
+		seed int64
+	}{
+		{name: "clean", seed: 1},
+		{name: "faults", seed: 2, gen: GenOptions{Faults: true}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunSuite(SuiteOptions{Seed: tc.seed, N: n, Gen: tc.gen, Log: t.Logf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failure != nil {
+				t.Fatalf("invariant %s: %s\nrepro: %s", res.Failure.Invariant, res.Failure.Detail, res.Repro)
+			}
+			if res.Checked == 0 {
+				t.Error("property run checked nothing")
+			}
+		})
+	}
+}
+
+// TestCorpusReplay replays every checked-in past-failing (or
+// divergence-class) config on every go-test run, so a regression that
+// resurrects an old bug fails immediately and deterministically.
+func TestCorpusReplay(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.repro"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no corpus files checked in under testdata/corpus")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			t.Parallel()
+			cfg, err := LoadRepro(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = CheckConfig(cfg, CheckOptions{})
+			var skip *SkipError
+			if errors.As(err, &skip) {
+				t.Skipf("fault plan exhausted attempts: %v", skip.Err)
+			}
+			if err != nil {
+				t.Errorf("corpus config regressed: %v\nrepro: %s", err, ReproLine(cfg))
+			}
+		})
+	}
+}
+
+// TestMutationCaught is the always-on vacuity guard: a deliberately flipped
+// partitioner decision must trip the partition oracle. The full mutation
+// matrix lives behind the `mutation` build tag; this cheap variant ensures
+// the harness can never silently pass mutated jobs.
+func TestMutationCaught(t *testing.T) {
+	cfg := microbench.Config{
+		Pattern:     microbench.MRAvg,
+		NumMaps:     2,
+		NumReduces:  3,
+		PairsPerMap: 50,
+		KeySize:     8,
+		ValueSize:   8,
+		Slaves:      1,
+		Seed:        1,
+	}
+	err := CheckConfig(cfg, CheckOptions{
+		Engines:   []microbench.Engine{}, // localrun-only keeps the guard cheap
+		MutateJob: FlipFirstPartition,
+	})
+	var fail *Failure
+	if !errors.As(err, &fail) {
+		t.Fatalf("mutated job passed every invariant (err=%v) — the harness is vacuous", err)
+	}
+	if fail.Invariant != "partition-oracle/localrun" {
+		t.Errorf("flip caught by %s, want partition-oracle/localrun", fail.Invariant)
+	}
+}
+
+// TestShrinkSynthetic pins the shrinker's greedy minimization on a synthetic
+// predicate: everything irrelevant to the predicate must collapse to floors.
+func TestShrinkSynthetic(t *testing.T) {
+	cfg := Generate(3, 0, GenOptions{Faults: true})
+	cfg.NumMaps = 8
+	failing := func(c microbench.Config) bool { return c.NumMaps >= 2 }
+	got := Shrink(cfg, failing)
+	if got.NumMaps != 2 {
+		t.Errorf("NumMaps shrunk to %d, want the predicate's floor 2", got.NumMaps)
+	}
+	if got.Faults != nil {
+		t.Error("irrelevant fault plan survived shrinking")
+	}
+	if got.PairsPerMap != 1 || got.NumReduces != 1 || got.KeySize != 1 || got.ValueSize != 1 || got.Slaves != 1 {
+		t.Errorf("irrelevant dimensions not minimized: %+v", got)
+	}
+	if got.ExtraConf != nil {
+		t.Error("irrelevant conf overrides survived shrinking")
+	}
+}
+
+// TestShrinkRealFailure drives the whole failure path end to end: a mutated
+// partitioner, shrunk to the minimal config, must still fail, and the repro
+// line must replay through the mrbench/mrcheck flag vocabulary to the same
+// minimal config.
+func TestShrinkRealFailure(t *testing.T) {
+	check := CheckOptions{
+		Engines:   []microbench.Engine{},
+		MutateJob: FlipFirstPartition,
+	}
+	cfg := microbench.Config{
+		Pattern:     microbench.MRRand,
+		NumMaps:     4,
+		NumReduces:  3,
+		PairsPerMap: 200,
+		KeySize:     64,
+		ValueSize:   128,
+		Slaves:      2,
+		Seed:        99,
+	}
+	fail := ShrinkFailure(cfg, check)
+	if fail.Invariant == "unstable" {
+		t.Fatalf("failure did not reproduce while shrinking: %s", fail.Detail)
+	}
+	min := fail.Config
+	// The flip needs >= 2 reducers and >= 1 pair on map 0; everything else
+	// must be at its floor.
+	if min.NumMaps != 1 || min.NumReduces != 2 || min.PairsPerMap != 1 {
+		t.Errorf("not minimal: maps=%d reduces=%d pairs=%d", min.NumMaps, min.NumReduces, min.PairsPerMap)
+	}
+	if min.KeySize != 1 || min.ValueSize != 1 {
+		t.Errorf("payload sizes not minimized: key=%d value=%d", min.KeySize, min.ValueSize)
+	}
+
+	parsed, err := microbench.ParseRepro(min.ReproFlags())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotN, err1 := parsed.Normalize()
+	wantN, err2 := min.Normalize()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !reflect.DeepEqual(gotN, wantN) {
+		t.Errorf("repro flags do not round-trip the shrunk config:\n%+v\nvs\n%+v", gotN, wantN)
+	}
+	if CheckConfig(parsed, check) == nil {
+		t.Error("replayed repro config no longer fails")
+	}
+}
+
+// TestOracleMatchesSpec cross-checks the oracle against BuildSpec on fixed
+// configs per pattern — the oracle is the invariant library's foundation.
+func TestOracleMatchesSpec(t *testing.T) {
+	for _, pattern := range microbench.Patterns() {
+		cfg, err := microbench.Config{
+			Pattern:     pattern,
+			NumMaps:     3,
+			NumReduces:  4,
+			PairsPerMap: 1000,
+			KeySize:     8,
+			ValueSize:   8,
+			Slaves:      1,
+			Seed:        5,
+		}.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := microbench.BuildSpec(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := oracleMatrix(cfg)
+		for m := range oracle {
+			for r := range oracle[m] {
+				if got := spec.Partitions[m][r].Records; got != oracle[m][r] {
+					t.Errorf("%s: spec[%d][%d]=%d, oracle says %d", pattern, m, r, got, oracle[m][r])
+				}
+			}
+		}
+	}
+}
+
+// FlipFirstPartition is the canonical mutation: map task 0's first partition
+// decision is rotated to the next reducer. Exported for the build-tag-gated
+// mutation matrix and the verify recipe's self-check.
+func FlipFirstPartition(job *mapreduce.Job) {
+	orig := job.PartitionerForTask
+	job.PartitionerForTask = func(mapTask int) mapreduce.Partitioner {
+		p := orig(mapTask)
+		if mapTask != 0 {
+			return p
+		}
+		first := true
+		return mapreduce.PartitionerFunc(func(k, v writable.Writable, numReduces int) int {
+			d := p.Partition(k, v, numReduces)
+			if first && numReduces > 1 {
+				first = false
+				d = (d + 1) % numReduces
+			}
+			return d
+		})
+	}
+}

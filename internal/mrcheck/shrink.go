@@ -1,0 +1,168 @@
+package mrcheck
+
+import (
+	"mrmicro/internal/microbench"
+)
+
+// maxShrinkRuns bounds the shrinker's invariant re-evaluations so a pathological
+// failure can't spin the reporter forever.
+const maxShrinkRuns = 200
+
+// Shrink greedily minimizes a failing configuration: it applies one
+// simplifying transform at a time — drop the fault plan, zero knobs back to
+// defaults, then halve counts and sizes — keeping a candidate only when it
+// still fails, and repeats to a fixed point. failing must report whether a
+// config violates an invariant (any invariant: a failure that shape-shifts
+// while shrinking is still a failure).
+func Shrink(cfg microbench.Config, failing func(microbench.Config) bool) microbench.Config {
+	runs := 0
+	try := func(candidate microbench.Config) bool {
+		if runs >= maxShrinkRuns {
+			return false
+		}
+		if _, err := candidate.Normalize(); err != nil {
+			return false
+		}
+		runs++
+		return failing(candidate)
+	}
+
+	for {
+		improved := false
+		for _, transform := range shrinkTransforms {
+			for {
+				candidate, changed := transform(cfg)
+				if !changed || !try(candidate) {
+					break
+				}
+				cfg = candidate
+				improved = true
+			}
+		}
+		if !improved || runs >= maxShrinkRuns {
+			return cfg
+		}
+	}
+}
+
+// shrinkTransforms are ordered cheapest-win first: discrete simplifications
+// (which each delete whole subsystems from the repro) before the halving
+// ladders. Each returns changed=false at its floor so the caller's inner
+// loop terminates.
+var shrinkTransforms = []func(microbench.Config) (microbench.Config, bool){
+	// Drop fault injection entirely.
+	func(c microbench.Config) (microbench.Config, bool) {
+		if c.Faults == nil {
+			return c, false
+		}
+		c.Faults = nil
+		return c, true
+	},
+	// Zero one fault rate at a time (keeps the plan but isolates the site).
+	func(c microbench.Config) (microbench.Config, bool) {
+		if c.Faults == nil {
+			return c, false
+		}
+		p := *c.Faults
+		for _, r := range []*float64{
+			&p.MapFailureRate, &p.ReduceFailureRate, &p.ShuffleDropRate,
+			&p.ShuffleTruncateRate, &p.ShuffleSlowRate, &p.SpillErrorRate,
+		} {
+			if *r != 0 {
+				*r = 0
+				c.Faults = &p
+				return c, true
+			}
+		}
+		return c, false
+	},
+	// Strip conf overrides (restores default sort buffer / merge fan-in).
+	func(c microbench.Config) (microbench.Config, bool) {
+		if c.ExtraConf == nil {
+			return c, false
+		}
+		c.ExtraConf = nil
+		return c, true
+	},
+	// Barrier schedule: removes the overlap machinery from the repro.
+	func(c microbench.Config) (microbench.Config, bool) {
+		if c.Slowstart == 1.0 {
+			return c, false
+		}
+		c.Slowstart = 1.0
+		return c, true
+	},
+	func(c microbench.Config) (microbench.Config, bool) {
+		if c.ParallelCopies == 0 {
+			return c, false
+		}
+		c.ParallelCopies = 0
+		return c, true
+	},
+	func(c microbench.Config) (microbench.Config, bool) {
+		if c.DataType == "BytesWritable" {
+			return c, false
+		}
+		c.DataType = "BytesWritable"
+		return c, true
+	},
+	// Halving ladders, largest cost levers first.
+	func(c microbench.Config) (microbench.Config, bool) { return c, halve64(&c.PairsPerMap, 1) },
+	func(c microbench.Config) (microbench.Config, bool) { return c, halve(&c.NumMaps, 1) },
+	func(c microbench.Config) (microbench.Config, bool) { return c, halve(&c.NumReduces, 1) },
+	func(c microbench.Config) (microbench.Config, bool) { return c, halve(&c.KeySize, 1) },
+	func(c microbench.Config) (microbench.Config, bool) { return c, halve(&c.ValueSize, 1) },
+	func(c microbench.Config) (microbench.Config, bool) { return c, halve(&c.Slaves, 1) },
+	// Decrement ladders pick up where halving overshoots (e.g. a failure
+	// needing >= 2 reducers survives 3 but not 3/2 = 1).
+	func(c microbench.Config) (microbench.Config, bool) { return c, decr64(&c.PairsPerMap, 1) },
+	func(c microbench.Config) (microbench.Config, bool) { return c, decr(&c.NumMaps, 1) },
+	func(c microbench.Config) (microbench.Config, bool) { return c, decr(&c.NumReduces, 1) },
+	func(c microbench.Config) (microbench.Config, bool) { return c, decr(&c.Slaves, 1) },
+	// Seeds don't affect cost but small ones read better in repro lines.
+	func(c microbench.Config) (microbench.Config, bool) {
+		if c.Seed == 1 {
+			return c, false
+		}
+		c.Seed = 1
+		return c, true
+	},
+}
+
+func decr(v *int, floor int) bool {
+	if *v <= floor {
+		return false
+	}
+	*v--
+	return true
+}
+
+func decr64(v *int64, floor int64) bool {
+	if *v <= floor {
+		return false
+	}
+	*v--
+	return true
+}
+
+func halve(v *int, floor int) bool {
+	if *v <= floor {
+		return false
+	}
+	*v /= 2
+	if *v < floor {
+		*v = floor
+	}
+	return true
+}
+
+func halve64(v *int64, floor int64) bool {
+	if *v <= floor {
+		return false
+	}
+	*v /= 2
+	if *v < floor {
+		*v = floor
+	}
+	return true
+}

@@ -1,0 +1,86 @@
+package mrcheck
+
+import (
+	"errors"
+	"fmt"
+
+	"mrmicro/internal/microbench"
+)
+
+// SuiteOptions parameterizes one property-testing run.
+type SuiteOptions struct {
+	Seed  int64
+	N     int
+	Gen   GenOptions
+	Check CheckOptions
+
+	// Log receives progress lines (nil: silent).
+	Log func(format string, args ...any)
+}
+
+// SuiteResult summarizes a run. Failure is nil when every iteration passed;
+// otherwise it holds the first violation, already shrunk, and Repro is the
+// one-line command that replays the minimal config.
+type SuiteResult struct {
+	Checked int
+	Skipped int
+	Failure *Failure
+	Repro   string
+}
+
+// RunSuite checks N generated configurations from the seed's stream,
+// stopping at (and shrinking) the first invariant violation.
+func RunSuite(opts SuiteOptions) (*SuiteResult, error) {
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	res := &SuiteResult{}
+	for i := 0; i < opts.N; i++ {
+		cfg := Generate(opts.Seed, i, opts.Gen)
+		err := CheckConfig(cfg, opts.Check)
+		var fail *Failure
+		var skip *SkipError
+		switch {
+		case err == nil:
+			res.Checked++
+		case errors.As(err, &skip):
+			// Legal attempt exhaustion under an aggressive fault plan.
+			res.Skipped++
+			logf("iter %d skipped: %v", i, skip.Err)
+		case errors.As(err, &fail):
+			logf("iter %d FAILED (%s), shrinking %s", i, fail.Invariant, cfg.Label())
+			res.Failure = ShrinkFailure(cfg, opts.Check)
+			res.Repro = ReproLine(res.Failure.Config)
+			return res, nil
+		default:
+			return res, fmt.Errorf("mrcheck: iter %d: %w", i, err)
+		}
+	}
+	return res, nil
+}
+
+// ShrinkFailure minimizes a failing config and returns the violation the
+// minimal config produces.
+func ShrinkFailure(cfg microbench.Config, check CheckOptions) *Failure {
+	failing := func(c microbench.Config) bool {
+		var f *Failure
+		return errors.As(CheckConfig(c, check), &f)
+	}
+	shrunk := Shrink(cfg, failing)
+	var f *Failure
+	if errors.As(CheckConfig(shrunk, check), &f) {
+		return f
+	}
+	// Unreachable unless the failure is flaky; report the pre-shrink config.
+	if errors.As(CheckConfig(cfg, check), &f) {
+		return f
+	}
+	return &Failure{Config: cfg, Invariant: "unstable", Detail: "failure did not reproduce during shrinking"}
+}
+
+// ReproLine renders the exact command that replays one configuration
+// through the checker.
+func ReproLine(cfg microbench.Config) string {
+	return "mrcheck -replay -- " + cfg.Repro()
+}

@@ -141,7 +141,11 @@ func (js *JobState) fillCounters() {
 	spec := js.Spec
 	c.IncrTask(mapreduce.CtrMapInputRecords, int64(spec.NumMaps())) // one dummy split record each
 	c.IncrTask(mapreduce.CtrMapOutputRecords, spec.TotalRecords())
-	c.IncrTask(mapreduce.CtrMapOutputBytes, spec.TotalShuffleBytes())
+	mob := spec.MapOutputRawBytes
+	if mob == 0 {
+		mob = spec.TotalShuffleBytes()
+	}
+	c.IncrTask(mapreduce.CtrMapOutputBytes, mob)
 	c.IncrTask(mapreduce.CtrReduceInputRecords, spec.TotalRecords())
 	c.IncrTask(mapreduce.CtrShuffledMaps, int64(spec.NumMaps()*spec.NumReduces()))
 	c.IncrTask(mapreduce.CtrReduceShuffleBytes, js.Report.ShuffleBytes)

@@ -42,6 +42,14 @@ type JobSpec struct {
 	// data type (1.0 = BytesWritable; Text pays UTF-8 validation etc.).
 	TypeFactor float64
 
+	// MapOutputRawBytes is the job's total raw map-output payload (key+value
+	// serialization without IFile record framing). The real executor's
+	// MAP_OUTPUT_BYTES counter is raw bytes while Partitions[][].Bytes is
+	// framed wire bytes; carrying both lets the simulated engines report
+	// counters bit-identical to localrun's. Zero means unknown, in which
+	// case counters fall back to TotalShuffleBytes.
+	MapOutputRawBytes int64
+
 	// Shuffle overrides the reducer copy-phase strategy; nil selects the
 	// stock Hadoop TCP shuffle (StockShuffle).
 	Shuffle ShufflePlugin

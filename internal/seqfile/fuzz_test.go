@@ -2,8 +2,11 @@ package seqfile
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"mrmicro/internal/fuzzcorpus"
 	"mrmicro/internal/writable"
 )
 
@@ -25,24 +28,53 @@ func fuzzSeedFile(tb testing.TB) []byte {
 	return buf.Bytes()
 }
 
+// fuzzSeeds is the named seed list behind both the in-process f.Add calls
+// and the checked-in testdata/fuzz corpus.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	valid := fuzzSeedFile(tb)
+	hostile := bytes.Clone(valid)
+	hostile[len(hostile)-9] = 0x7f // blow up a record length field
+	meta := bytes.Clone(valid)
+	meta[len("SEQx")+2+len("Text")+2+len("LongWritable")+2] = 0xff // metadata count
+	return [][]byte{
+		valid,
+		valid[:len(valid)-5], // truncated mid-record
+		valid[:20],           // truncated inside the header
+		[]byte("SEQ\x06"),    // magic only
+		[]byte("NOPE"),       // wrong magic
+		{},                   // empty
+		hostile,
+		meta,
+	}
+}
+
+// TestFuzzSeedCorpusSync pins the checked-in corpus to the seed list (see
+// kvbuf's twin for rationale). Regenerate with MRMICRO_WRITE_CORPUS=1.
+func TestFuzzSeedCorpusSync(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzSeqFileReader")
+	if os.Getenv("MRMICRO_WRITE_CORPUS") != "" {
+		if err := fuzzcorpus.Write(dir, fuzzSeeds(t)); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	corpus, err := fuzzcorpus.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := fuzzcorpus.Missing(corpus, fuzzSeeds(t)); len(m) != 0 {
+		t.Errorf("%d seeds missing from %s; regenerate with MRMICRO_WRITE_CORPUS=1", len(m), dir)
+	}
+}
+
 // FuzzSeqFileReader feeds arbitrary bytes through the SequenceFile header
 // parser and record iterator. Corrupt or truncated input — including hostile
 // length fields in the header metadata and record framing — must surface as
 // an error, never a panic or an unbounded allocation.
 func FuzzSeqFileReader(f *testing.F) {
-	valid := fuzzSeedFile(f)
-	f.Add(valid)
-	f.Add(valid[:len(valid)-5])          // truncated mid-record
-	f.Add(valid[:20])                    // truncated inside the header
-	f.Add([]byte("SEQ\x06"))             // magic only
-	f.Add([]byte("NOPE"))                // wrong magic
-	f.Add([]byte{})                      // empty
-	hostile := bytes.Clone(valid)
-	hostile[len(hostile)-9] = 0x7f       // blow up a record length field
-	f.Add(hostile)
-	meta := bytes.Clone(valid)
-	meta[len("SEQx")+2+len("Text")+2+len("LongWritable")+2] = 0xff // metadata count
-	f.Add(meta)
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))
