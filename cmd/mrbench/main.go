@@ -20,6 +20,7 @@ import (
 	"sort"
 	"time"
 
+	"mrmicro/internal/distrun"
 	"mrmicro/internal/localrun"
 	"mrmicro/internal/mapreduce"
 	"mrmicro/internal/metrics"
@@ -27,6 +28,8 @@ import (
 )
 
 func main() {
+	distrun.MaybeWorker() // no-op unless spawned as a dist worker process
+
 	shared := microbench.BindFlags(flag.CommandLine)
 	var (
 		monitor = flag.Bool("monitor", false, "collect per-second resource utilization")
@@ -35,6 +38,10 @@ func main() {
 		local   = flag.Bool("local", false, "execute for real in-process (small scale) instead of simulating")
 		benchF  = flag.String("bench-json", "", "write machine-readable local-execution throughput results to this file (implies -local)")
 		benchN  = flag.Int("bench-reps", 5, "repetitions per configuration for -bench-json medians")
+		workers = flag.Int("workers", 2, "worker processes for -engine=dist")
+		specAft = flag.Duration("speculative", 0, "speculate a duplicate attempt after a task runs this long without committing (-engine=dist; 0 disables)")
+		respawn = flag.Bool("respawn", true, "restart dist worker processes that die abnormally")
+		walPath = flag.String("wal", "", "write-ahead task log path for -engine=dist (empty: no log)")
 	)
 	flag.Parse()
 
@@ -49,6 +56,16 @@ func main() {
 		fatal(fmt.Errorf("specify -size or -pairs"))
 	}
 
+	if cfg.Engine == microbench.EngineDist {
+		runDist(cfg, &distrun.Options{
+			Workers:          *workers,
+			WALPath:          *walPath,
+			Respawn:          *respawn,
+			SpeculativeAfter: *specAft,
+			Digest:           true,
+		})
+		return
+	}
 	if *local || *benchF != "" {
 		runLocal(cfg, *benchF, *benchN)
 		return
@@ -87,6 +104,33 @@ func localOnce(cfg microbench.Config) (*localrun.Result, time.Duration) {
 		fatal(err)
 	}
 	return res, time.Since(start)
+}
+
+// runDist executes cfg on the real multi-process runtime: an in-process
+// coordinator plus worker processes (this binary, re-executed — see
+// distrun.MaybeWorker at the top of main).
+func runDist(cfg microbench.Config, opts *distrun.Options) {
+	res, err := distrun.Run(cfg, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("=== %s micro-benchmark (REAL distributed execution via distrun) ===\n", cfg.Pattern)
+	fmt.Printf("maps/reduces        %d / %d\n", res.NumMaps, res.NumReduces)
+	fmt.Printf("worker processes    %d\n", opts.Workers)
+	fmt.Printf("wall time           %v\n", res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("job digest          %016x\n", res.JobDigest)
+	if res.RequeuedMaps > 0 || res.SpeculativeWins > 0 || res.RecoveredMaps > 0 || res.RecoveredReduces > 0 {
+		fmt.Print(metrics.RenderKV("recovery:", []metrics.KV{
+			{Key: "maps re-queued (lost output)", Value: int64(res.RequeuedMaps)},
+			{Key: "speculative wins", Value: int64(res.SpeculativeWins)},
+			{Key: "maps recovered from WAL", Value: int64(res.RecoveredMaps)},
+			{Key: "reduces recovered from WAL", Value: int64(res.RecoveredReduces)},
+		}))
+	}
+	fmt.Printf("counters:\n%s", res.Counters)
+	if cfg.Faults != nil {
+		fmt.Print(metrics.RenderKV("injected faults survived:", faultKVs(res.Counters)))
+	}
 }
 
 func runLocal(cfg microbench.Config, benchPath string, reps int) {

@@ -11,6 +11,7 @@
 //	mrcheck -n 100 -seed 42              # clean property run
 //	mrcheck -n 100 -seed 42 -faults      # with generated fault plans
 //	mrcheck -engines localrun,mrv1 -n 25 # skip the yarn cross-check
+//	mrcheck -engines dist,local -n 10 -faults   # real multi-process runtime
 //	mrcheck -replay -- -pattern MR-RAND -pairs 7 -maps 2 -reduces 3 -seed 1 ...
 //	mrcheck -corpus internal/mrcheck/testdata/corpus
 package main
@@ -23,15 +24,19 @@ import (
 	"strings"
 
 	"mrmicro/internal/cliutil"
+	"mrmicro/internal/distrun"
 	"mrmicro/internal/microbench"
 	"mrmicro/internal/mrcheck"
 )
 
 func main() {
+	// Checks against the dist engine spawn worker processes by re-executing
+	// this binary; a spawned copy never returns from MaybeWorker.
+	distrun.MaybeWorker()
 	var (
 		seed    = flag.Int64("seed", 1, "suite seed: -seed S -n N checks iterations 0..N-1 of S's config stream")
 		n       = flag.Int("n", 100, "number of generated configurations to check")
-		engines = flag.String("engines", "localrun,mrv1,yarn", "engines to cross-check, comma separated (localrun is the reference and always required)")
+		engines = flag.String("engines", "localrun,mrv1,yarn", "engines to cross-check, comma separated: localrun (alias local; the reference, always required), mrv1, yarn, dist (real multi-process runtime)")
 		faults  = flag.Bool("faults", false, "attach generated fault plans and check recovery equivalence")
 		budget  = flag.String("budget", "", "per-config shuffle byte budget (e.g. 1MB; default 512KB)")
 		replay  = flag.Bool("replay", false, "check the single config given by flags after --, verbatim (printed by a failing run)")
@@ -133,15 +138,16 @@ func report(cfg microbench.Config, err error) int {
 
 // parseEngines resolves the -engines list into check options. localrun is
 // the reference every invariant compares against, so it must be present;
-// the remaining names select the simulated engines.
+// the remaining names select the simulated engines (mrv1, yarn) and the
+// real multi-process distributed runtime (dist).
 func parseEngines(s string) (mrcheck.CheckOptions, error) {
 	opts := mrcheck.CheckOptions{Engines: []microbench.Engine{}}
 	sawLocal := false
 	for _, name := range strings.Split(s, ",") {
 		switch name = strings.TrimSpace(name); name {
-		case "localrun":
+		case "localrun", "local":
 			sawLocal = true
-		case string(microbench.EngineMRv1), string(microbench.EngineYARN):
+		case string(microbench.EngineMRv1), string(microbench.EngineYARN), string(microbench.EngineDist):
 			opts.Engines = append(opts.Engines, microbench.Engine(name))
 		default:
 			return opts, fmt.Errorf("-engines: unknown engine %q", name)

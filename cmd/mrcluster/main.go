@@ -1,7 +1,12 @@
-// Command mrcluster inspects the simulated testbeds: it lists the network
+// Command mrcluster inspects the *simulated* testbeds: it lists the network
 // profiles and node specs, and runs raw fabric micro-tests (point-to-point
 // and all-to-all transfers) so interconnect behaviour can be examined
 // without MapReduce on top — handy when calibrating or adding profiles.
+//
+// Despite the name, it never starts any cluster processes. The suite's real
+// multi-process cluster has its own binaries: cmd/mrcoord runs the
+// coordinator, cmd/mrworker joins worker processes to it, and
+// `mrbench -engine=dist` spawns both sides at once (internal/distrun).
 //
 // Examples:
 //

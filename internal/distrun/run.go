@@ -1,0 +1,36 @@
+package distrun
+
+import (
+	"time"
+
+	"mrmicro/internal/microbench"
+)
+
+// Run executes cfg on the distributed runtime: an in-process coordinator
+// plus opts.Workers spawned worker processes. The caller's binary must call
+// MaybeWorker at the top of main (or TestMain) for the spawned processes to
+// bootstrap.
+func Run(cfg microbench.Config, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	coord, err := NewCoordinator(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Stop()
+	pool, err := StartWorkers(coord.Addr(), opts.workers(), opts.Respawn)
+	if err != nil {
+		coord.Stop()
+		return nil, err
+	}
+	defer pool.Close()
+	res, err := coord.Wait()
+	if err != nil {
+		return nil, err
+	}
+	// Let workers pick up the exit directive so they shut down cleanly; the
+	// deferred Close reaps any that don't make it in time.
+	pool.WaitIdle(2 * time.Second)
+	return res, nil
+}

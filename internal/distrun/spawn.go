@@ -1,0 +1,171 @@
+package distrun
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// WorkerPool spawns and supervises worker processes. Workers are the current
+// binary re-executed with the bootstrap environment set (see MaybeWorker),
+// so any binary or test that calls MaybeWorker can host them. A worker that
+// exits abnormally — killed by the crash harness, by injected faults, or by
+// a genuine crash — is respawned with a bumped epoch when Respawn is on; a
+// zero exit means the coordinator dismissed it and ends the slot.
+type WorkerPool struct {
+	coordAddr string
+	respawn   bool
+	bin       string
+
+	mu     sync.Mutex
+	procs  map[int]*exec.Cmd
+	epochs map[int]int
+	closed bool
+	live   int
+	idle   chan struct{} // closed when the last worker slot ends
+}
+
+// StartWorkers spawns n workers pointed at coordAddr.
+func StartWorkers(coordAddr string, n int, respawn bool) (*WorkerPool, error) {
+	bin, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("distrun: locating own binary: %w", err)
+	}
+	p := &WorkerPool{
+		coordAddr: coordAddr,
+		respawn:   respawn,
+		bin:       bin,
+		procs:     make(map[int]*exec.Cmd),
+		epochs:    make(map[int]int),
+		idle:      make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		if err := p.spawn(i, 0); err != nil {
+			p.Close()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func (p *WorkerPool) spawn(index, epoch int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	cmd := exec.Command(p.bin)
+	cmd.Env = append(os.Environ(),
+		EnvCoordAddr+"="+p.coordAddr,
+		EnvWorkerIndex+"="+strconv.Itoa(index),
+		EnvWorkerEpoch+"="+strconv.Itoa(epoch),
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("distrun: spawning worker %d: %w", index, err)
+	}
+	p.procs[index] = cmd
+	p.epochs[index] = epoch
+	p.live++
+	go p.reap(index, epoch, cmd)
+	return nil
+}
+
+// reap waits for one worker process and respawns abnormal exits.
+func (p *WorkerPool) reap(index, epoch int, cmd *exec.Cmd) {
+	err := cmd.Wait()
+	p.mu.Lock()
+	if p.procs[index] == cmd {
+		delete(p.procs, index)
+	}
+	p.live--
+	last := p.live == 0
+	closed := p.closed
+	p.mu.Unlock()
+
+	// A zero exit is the coordinator's dismissal: the slot is done. Anything
+	// else (kill signal, injected os.Exit, crash) respawns when enabled.
+	if !closed && p.respawn && (err != nil || !cmd.ProcessState.Success()) {
+		if serr := p.spawn(index, epoch+1); serr == nil {
+			return
+		}
+	}
+	if last {
+		p.mu.Lock()
+		if p.live == 0 && !p.closedIdle() {
+			close(p.idle)
+		}
+		p.mu.Unlock()
+	}
+}
+
+func (p *WorkerPool) closedIdle() bool {
+	select {
+	case <-p.idle:
+		return true
+	default:
+		return false
+	}
+}
+
+// KillWorker SIGKILLs worker slot index's current process — the crash
+// harness's hammer. Returns false if the slot has no live process.
+func (p *WorkerPool) KillWorker(index int) bool {
+	p.mu.Lock()
+	cmd := p.procs[index]
+	p.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return false
+	}
+	return cmd.Process.Kill() == nil
+}
+
+// Live returns the number of running worker processes.
+func (p *WorkerPool) Live() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.live
+}
+
+// Epoch returns slot index's current process incarnation.
+func (p *WorkerPool) Epoch(index int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epochs[index]
+}
+
+// WaitIdle blocks until every worker slot has ended (all workers exited
+// without respawn), or the timeout elapses.
+func (p *WorkerPool) WaitIdle(timeout time.Duration) bool {
+	p.mu.Lock()
+	if p.live == 0 {
+		p.mu.Unlock()
+		return true
+	}
+	p.mu.Unlock()
+	select {
+	case <-p.idle:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// Close stops respawning and kills any worker still running.
+func (p *WorkerPool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	procs := make([]*exec.Cmd, 0, len(p.procs))
+	for _, cmd := range p.procs {
+		procs = append(procs, cmd)
+	}
+	p.mu.Unlock()
+	for _, cmd := range procs {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+}

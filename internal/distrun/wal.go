@@ -1,0 +1,105 @@
+package distrun
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The write-ahead task log is a file of JSON lines, one entry per committed
+// task attempt, fsynced before the commit is acknowledged. It exists for
+// exactly one scenario: the coordinator dies and is restarted on the same
+// address. The restarted coordinator replays the log — committed reduces are
+// final (their counters, digest and record count are in the entry, so they
+// never re-run); committed maps come back "committed but unlocated" until a
+// surviving worker re-registers holding that map's bytes, and are re-queued
+// after a grace period otherwise (the bytes died with their worker, exactly
+// as when a worker dies under a live coordinator).
+
+// walEntry is one log line. Type tags: "map" and "reduce" commits.
+type walEntry struct {
+	Type     string                      `json:"t"`
+	Task     int                         `json:"task"`
+	Version  int64                       `json:"version,omitempty"` // map commits
+	Counters map[string]map[string]int64 `json:"counters,omitempty"`
+	Digest   uint64                      `json:"digest,omitempty"`  // reduce commits
+	Records  int64                       `json:"records,omitempty"` // reduce commits
+}
+
+// wal is the append side of the log.
+type wal struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// openWAL opens (creating or appending) the log at path. An empty path
+// disables logging: every method is a no-op and recovery finds nothing.
+func openWAL(path string) (*wal, error) {
+	if path == "" {
+		return &wal{}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("distrun: wal: %w", err)
+	}
+	return &wal{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// append durably records one entry. The sync before returning is the whole
+// point: an acknowledged commit must survive a coordinator crash.
+func (l *wal) append(e walEntry) error {
+	if l.f == nil {
+		return nil
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := l.w.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+func (l *wal) close() {
+	if l.f != nil {
+		l.w.Flush()
+		l.f.Close()
+	}
+}
+
+// readWAL replays the log at path. A missing file is an empty log. Torn
+// final lines (the crash hit mid-append) are ignored: an unreadable entry
+// was never acknowledged, so dropping it is the correct recovery.
+func readWAL(path string) ([]walEntry, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("distrun: wal replay: %w", err)
+	}
+	defer f.Close()
+	var entries []walEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e walEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			break // torn tail: never acknowledged
+		}
+		entries = append(entries, e)
+	}
+	return entries, sc.Err()
+}

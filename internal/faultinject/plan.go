@@ -62,6 +62,19 @@ type Plan struct {
 	MapFailures    map[int]int
 	ReduceFailures map[int]int
 
+	// Process-level fault kinds, injected only by the distributed runtime
+	// (internal/distrun); the single-process executors ignore them.
+	// WorkerKillRate / PartitionRate are evaluated per worker checkpoint by
+	// Proc (see proc.go); the maps force a fault at one exact checkpoint:
+	// worker index -> checkpoint sequence (epoch 0 only, so a respawned
+	// worker does not crash-loop). PartitionDuration is how long an injected
+	// partition cuts the worker's control plane (default 400ms).
+	WorkerKillRate    float64
+	PartitionRate     float64
+	PartitionDuration time.Duration
+	WorkerKills       map[int]int
+	Partitions        map[int]int
+
 	// MaxTaskAttempts bounds map/reduce re-execution (Hadoop's
 	// mapreduce.map.maxattempts; default 4). MaxFetchAttempts bounds
 	// shuffle-fetch retries per segment (default 4).
@@ -85,7 +98,18 @@ func (p *Plan) Enabled() bool {
 	}
 	return p.MapFailureRate > 0 || p.ReduceFailureRate > 0 ||
 		p.ShuffleDropRate > 0 || p.ShuffleTruncateRate > 0 || p.ShuffleSlowRate > 0 ||
-		p.SpillErrorRate > 0 || len(p.MapFailures) > 0 || len(p.ReduceFailures) > 0
+		p.SpillErrorRate > 0 || len(p.MapFailures) > 0 || len(p.ReduceFailures) > 0 ||
+		p.ProcEnabled()
+}
+
+// ProcEnabled reports whether the plan can inject process-level faults
+// (worker kills, partitions) — the kinds only the distributed runtime acts on.
+func (p *Plan) ProcEnabled() bool {
+	if p == nil {
+		return false
+	}
+	return p.WorkerKillRate > 0 || p.PartitionRate > 0 ||
+		len(p.WorkerKills) > 0 || len(p.Partitions) > 0
 }
 
 // TaskAttempts returns the task-attempt bound with the Hadoop default.

@@ -1,0 +1,82 @@
+package faultinject
+
+import "time"
+
+// ProcFault classifies process-level faults: whole-worker failures injected
+// into the distributed runtime (internal/distrun), as opposed to the
+// task/fetch/spill faults the single-process executor injects. The names are
+// the suite's fault *kinds*: KindWorkerKill terminates the worker process
+// outright (its shuffle server and every map output it holds die with it);
+// KindPartition cuts the worker's control plane — heartbeats and RPC stall
+// for PartitionDuration, long enough for the coordinator to declare it dead
+// and fence it, after which the worker must re-register.
+type ProcFault int
+
+// Process fault kinds.
+const (
+	ProcOK         ProcFault = iota // no fault at this checkpoint
+	KindWorkerKill                  // process exits immediately
+	KindPartition                   // control-plane traffic drops for PartitionDuration
+)
+
+// String names the kind for logs.
+func (f ProcFault) String() string {
+	switch f {
+	case KindWorkerKill:
+		return "worker-kill"
+	case KindPartition:
+		return "partition"
+	default:
+		return "ok"
+	}
+}
+
+// Process-fault injection sites, disjoint from the task/fetch/spill sites in
+// plan.go so the same identifiers draw independent values.
+const (
+	siteWorkerKill uint64 = iota + 16
+	sitePartition
+)
+
+// Proc decides whether worker `worker` (process incarnation `epoch`; a
+// respawned worker bumps its epoch) suffers a process fault at its seq-th
+// checkpoint. Checkpoints are the worker's own monotonically increasing
+// counter, advanced at well-defined points (task pickup, mid-map, between
+// shuffle fetches, pre-commit), so a schedule is reproducible for a given
+// assignment of tasks to workers.
+//
+// Forced schedules fire exactly once, on epoch 0 only — a respawned worker
+// must not re-trigger its own death or it would crash-loop forever; the
+// rate-driven draws mix the epoch in instead, so later incarnations roll
+// fresh faults.
+func (p Plan) Proc(worker, epoch, seq int) ProcFault {
+	if epoch == 0 {
+		if at, ok := p.WorkerKills[worker]; ok && seq == at {
+			return KindWorkerKill
+		}
+		if at, ok := p.Partitions[worker]; ok && seq == at {
+			return KindPartition
+		}
+	}
+	// One uniform draw covers both kinds so their rates compose (kill +
+	// partition must be <= 1 to both be reachable), matching Fetch.
+	u := p.roll(siteWorkerKill, worker, epoch, seq)
+	switch {
+	case u < p.WorkerKillRate:
+		return KindWorkerKill
+	case u < p.WorkerKillRate+p.PartitionRate:
+		return KindPartition
+	default:
+		return ProcOK
+	}
+}
+
+// PartitionFor returns the injected partition's duration (default 400ms —
+// comfortably past the distributed runtime's default worker timeout, so a
+// partitioned worker really is declared dead before it comes back).
+func (p Plan) PartitionFor() time.Duration {
+	if p.PartitionDuration > 0 {
+		return p.PartitionDuration
+	}
+	return 400 * time.Millisecond
+}

@@ -1,0 +1,129 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProcForcedSchedules pins the deterministic trigger semantics of the
+// forced worker-kill / partition schedules: they fire at exactly the named
+// checkpoint, on epoch 0 only.
+func TestProcForcedSchedules(t *testing.T) {
+	tests := []struct {
+		name   string
+		plan   Plan
+		worker int
+		epoch  int
+		seq    int
+		want   ProcFault
+	}{
+		{"kill at named checkpoint", Plan{WorkerKills: map[int]int{1: 3}}, 1, 0, 3, KindWorkerKill},
+		{"no kill before checkpoint", Plan{WorkerKills: map[int]int{1: 3}}, 1, 0, 2, ProcOK},
+		{"no kill after checkpoint", Plan{WorkerKills: map[int]int{1: 3}}, 1, 0, 4, ProcOK},
+		{"no kill for other worker", Plan{WorkerKills: map[int]int{1: 3}}, 2, 0, 3, ProcOK},
+		{"respawned worker survives its schedule", Plan{WorkerKills: map[int]int{1: 3}}, 1, 1, 3, ProcOK},
+		{"partition at named checkpoint", Plan{Partitions: map[int]int{0: 0}}, 0, 0, 0, KindPartition},
+		{"partition epoch 0 only", Plan{Partitions: map[int]int{0: 0}}, 0, 2, 0, ProcOK},
+		{"kill wins when both name one checkpoint", Plan{WorkerKills: map[int]int{2: 1}, Partitions: map[int]int{2: 1}}, 2, 0, 1, KindWorkerKill},
+		{"zero plan injects nothing", Plan{}, 0, 0, 0, ProcOK},
+		{"rate 1 kills every checkpoint", Plan{Seed: 7, WorkerKillRate: 1}, 5, 3, 11, KindWorkerKill},
+		{"rate 1 partitions every checkpoint", Plan{Seed: 7, PartitionRate: 1}, 5, 3, 11, KindPartition},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.plan.Proc(tc.worker, tc.epoch, tc.seq); got != tc.want {
+				t.Errorf("Proc(%d, %d, %d) = %v, want %v", tc.worker, tc.epoch, tc.seq, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestProcRateDeterminism checks that rate-driven draws are a pure function
+// of (seed, worker, epoch, seq) — same everywhere, like every other site —
+// and that distinct epochs draw independent streams (a respawned worker does
+// not replay its predecessor's fate).
+func TestProcRateDeterminism(t *testing.T) {
+	p := Plan{Seed: 42, WorkerKillRate: 0.3, PartitionRate: 0.3}
+	q := Plan{Seed: 42, WorkerKillRate: 0.3, PartitionRate: 0.3}
+	same := 0
+	for w := 0; w < 4; w++ {
+		for e := 0; e < 3; e++ {
+			for s := 0; s < 32; s++ {
+				a, b := p.Proc(w, e, s), q.Proc(w, e, s)
+				if a != b {
+					t.Fatalf("Proc(%d,%d,%d) nondeterministic: %v vs %v", w, e, s, a, b)
+				}
+				if e > 0 && a == p.Proc(w, 0, s) {
+					same++
+				}
+			}
+		}
+	}
+	// Epoch independence is statistical: with three outcomes the streams
+	// must not be identical across epochs (256 comparisons).
+	if same == 4*2*32 {
+		t.Error("epoch does not influence the draw: respawned workers replay their schedule")
+	}
+}
+
+// TestProcRateFrequency sanity-checks the composed-rate split: at
+// kill=0.25 / partition=0.25, roughly half of all checkpoints fault, split
+// evenly between the kinds.
+func TestProcRateFrequency(t *testing.T) {
+	p := Plan{Seed: 9, WorkerKillRate: 0.25, PartitionRate: 0.25}
+	var kills, parts, n int
+	for w := 0; w < 8; w++ {
+		for s := 0; s < 500; s++ {
+			n++
+			switch p.Proc(w, 0, s) {
+			case KindWorkerKill:
+				kills++
+			case KindPartition:
+				parts++
+			}
+		}
+	}
+	for _, c := range []struct {
+		name string
+		got  int
+	}{{"kills", kills}, {"partitions", parts}} {
+		frac := float64(c.got) / float64(n)
+		if frac < 0.20 || frac > 0.30 {
+			t.Errorf("%s rate %.3f outside [0.20, 0.30] at configured 0.25", c.name, frac)
+		}
+	}
+}
+
+func TestProcEnabled(t *testing.T) {
+	tests := []struct {
+		name string
+		plan *Plan
+		want bool
+	}{
+		{"nil", nil, false},
+		{"zero", &Plan{}, false},
+		{"kill rate", &Plan{WorkerKillRate: 0.1}, true},
+		{"partition rate", &Plan{PartitionRate: 0.1}, true},
+		{"forced kill", &Plan{WorkerKills: map[int]int{0: 1}}, true},
+		{"forced partition", &Plan{Partitions: map[int]int{0: 1}}, true},
+		{"task faults only", &Plan{MapFailureRate: 0.5}, false},
+	}
+	for _, tc := range tests {
+		if got := tc.plan.ProcEnabled(); got != tc.want {
+			t.Errorf("%s: ProcEnabled() = %v, want %v", tc.name, got, tc.want)
+		}
+		// Any proc fault also flips the plan-wide Enabled switch.
+		if tc.plan != nil && tc.want && !tc.plan.Enabled() {
+			t.Errorf("%s: ProcEnabled but not Enabled", tc.name)
+		}
+	}
+}
+
+func TestPartitionForDefault(t *testing.T) {
+	if d := (Plan{}).PartitionFor(); d != 400*time.Millisecond {
+		t.Errorf("default PartitionFor() = %v, want 400ms", d)
+	}
+	if d := (Plan{PartitionDuration: time.Second}).PartitionFor(); d != time.Second {
+		t.Errorf("PartitionFor() = %v, want 1s", d)
+	}
+}

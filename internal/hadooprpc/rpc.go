@@ -45,6 +45,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	handlers map[string]Handler
+	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
 
@@ -58,7 +59,7 @@ func NewServer(addr, protocol string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hadooprpc: listen: %w", err)
 	}
-	s := &Server{protocol: protocol, ln: ln, handlers: make(map[string]Handler)}
+	s := &Server{protocol: protocol, ln: ln, handlers: make(map[string]Handler), conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -82,7 +83,8 @@ func (s *Server) Calls() int64 {
 	return s.calls
 }
 
-// Close stops the listener and waits for in-flight connections.
+// Close stops the listener and waits for in-flight connections to drain on
+// their own (clients hang up when done) — the graceful teardown.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -95,6 +97,30 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// Abort closes the listener and severs every live connection with no
+// farewell — what a crashed server process looks like to its peers. Clients
+// mid-call see a connection error, never a response. The crash tests kill an
+// in-process coordinator this way; a polite Close would let in-flight
+// handlers answer first, which a real crash never does.
+func (s *Server) Abort() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -102,10 +128,23 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
+		s.mu.Lock()
+		if s.closed { // aborted while this connection raced the listener close
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
 			s.serveConn(conn)
 		}()
 	}

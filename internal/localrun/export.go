@@ -1,0 +1,139 @@
+package localrun
+
+// This file is localrun's task-level surface for the distributed runtime
+// (internal/distrun): worker processes execute the exact same task bodies the
+// in-process executor runs — same sort/spill/merge machinery, same TCP
+// shuffle data plane — just driven by a remote coordinator instead of the
+// in-process scheduler. Keeping one implementation is what lets distrun
+// assert byte-identical output against an in-process run of the same config.
+
+import (
+	"fmt"
+
+	"mrmicro/internal/faultinject"
+	"mrmicro/internal/kvbuf"
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/writable"
+)
+
+// ShuffleServer is the exported face of the TCP map-output server: each
+// distrun worker runs one as its data plane, serving the outputs of every
+// map task it has committed.
+type ShuffleServer = shuffleServer
+
+// NewShuffleServer starts a map-output server on an ephemeral loopback port.
+func NewShuffleServer() (*ShuffleServer, error) { return newShuffleServer() }
+
+// Unregister withdraws every partition registered for mapIdx — the losing
+// side of a speculative race discards its output so reducers can only ever
+// fetch the committed attempt's bytes.
+func (s *shuffleServer) Unregister(mapIdx int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range s.segments {
+		if k[0] == mapIdx {
+			delete(s.segments, k)
+		}
+	}
+}
+
+// FetchStats is the exported tally of one fetch's recovery events.
+type FetchStats struct {
+	Failures int64 // fetch attempts that failed (dropped, truncated, corrupt)
+	Retries  int64 // attempts beyond the first
+	Slow     int64 // injected slow-peer fetches
+}
+
+// FetchMapOutput retrieves one map-output partition from a (possibly remote)
+// worker's shuffle server, verifying the IFile checksum as it streams in and
+// retrying transient failures with backoff. wireLen is the payload size of
+// the winning attempt.
+func FetchMapOutput(addr string, mapIdx, reduce int, compressed bool, plan *faultinject.Plan, bo faultinject.Backoff) (seg *kvbuf.Segment, wireLen int64, st FetchStats, err error) {
+	var fst fetchStats
+	seg, wireLen, err = fetchValidated(addr, mapIdx, reduce, compressed, plan, bo, &fst)
+	st = FetchStats{Failures: fst.failures, Retries: fst.retries, Slow: fst.slow}
+	return seg, wireLen, st, err
+}
+
+// TaskRunner executes individual task attempts of one job: the entry point a
+// distrun worker drives as the coordinator assigns work. It caches the
+// job-wide state every attempt needs (splits, key comparator).
+type TaskRunner struct {
+	job        *mapreduce.Job
+	jobID      mapreduce.JobID
+	splits     []mapreduce.InputSplit
+	cmp        writable.RawComparator
+	numReduces int
+}
+
+// NewTaskRunner validates the job and prepares per-task execution. Jobs with
+// a reduce phase only — distrun has no distributed story for map-only jobs.
+func NewTaskRunner(job *mapreduce.Job) (*TaskRunner, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	numReduces := job.Conf.NumReduces()
+	if numReduces == 0 {
+		return nil, &mapreduce.JobError{Msg: "localrun: TaskRunner requires a reduce phase"}
+	}
+	splits, err := job.Input.Splits(job.Conf)
+	if err != nil {
+		return nil, fmt.Errorf("localrun: computing splits: %w", err)
+	}
+	if len(splits) == 0 {
+		return nil, &mapreduce.JobError{Msg: "localrun: input produced no splits"}
+	}
+	cmp, err := writable.Comparator(job.MapOutputKeyType)
+	if err != nil {
+		return nil, err
+	}
+	return &TaskRunner{
+		job:        job,
+		jobID:      mapreduce.JobID{Seq: 1},
+		splits:     splits,
+		cmp:        cmp,
+		numReduces: numReduces,
+	}, nil
+}
+
+// NumMaps returns the job's split count.
+func (tr *TaskRunner) NumMaps() int { return len(tr.splits) }
+
+// NumReduces returns the job's reduce count.
+func (tr *TaskRunner) NumReduces() int { return tr.numReduces }
+
+// Compressed reports whether map outputs travel compressed, which fetchers
+// must know to validate payloads.
+func (tr *TaskRunner) Compressed() bool {
+	return tr.job.Conf.GetBool(mapreduce.ConfCompressMapOut, false)
+}
+
+// RunMap executes one map task attempt, registering its output partitions
+// with the worker's shuffle server. Injected task-level faults (FailMap,
+// spill errors) strike exactly as they do in-process; faultCtrs accumulates
+// what was survived across attempts and may be shared between them.
+func (tr *TaskRunner) RunMap(idx, attempt int, server *ShuffleServer, plan *faultinject.Plan, faultCtrs *mapreduce.Counters) (*mapreduce.Counters, error) {
+	if idx < 0 || idx >= len(tr.splits) {
+		return nil, fmt.Errorf("localrun: map index %d out of range [0, %d)", idx, len(tr.splits))
+	}
+	aid := mapreduce.MapAttempt(tr.jobID, idx, attempt)
+	return runMapTask(tr.job, aid, tr.splits[idx], tr.cmp, tr.numReduces, server, plan, faultCtrs)
+}
+
+// RunReduce executes the sort+reduce tail of reduce task r over partition
+// segments the caller already fetched (one per map, ascending map order; a
+// flat merge over them emits records byte-identical to the in-process
+// executor's streamed copy phase). The caller owns shuffle-side counters
+// (SHUFFLED_MAPS, REDUCE_SHUFFLE_BYTES); this adds the merge/reduce ones.
+func (tr *TaskRunner) RunReduce(r, attempt int, parts []*kvbuf.Segment, plan *faultinject.Plan) (*mapreduce.Counters, error) {
+	if r < 0 || r >= tr.numReduces {
+		return nil, fmt.Errorf("localrun: reduce index %d out of range [0, %d)", r, tr.numReduces)
+	}
+	ctrs := mapreduce.NewCounters()
+	rep := &mapreduce.CountersReporter{C: ctrs}
+	if plan != nil && plan.FailReduce(r, attempt) {
+		aid := mapreduce.ReduceAttempt(tr.jobID, r, attempt)
+		return ctrs, faultinject.Errorf("localrun: %s aborted after shuffle", aid)
+	}
+	return ctrs, reduceOverParts(tr.job, r, tr.cmp, parts, len(tr.splits), ctrs, rep)
+}

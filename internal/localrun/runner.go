@@ -716,6 +716,16 @@ func runReduceTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, numMaps int,
 		return ctrs, faultinject.Errorf("localrun: %s aborted after shuffle", aid)
 	}
 
+	return ctrs, reduceOverParts(job, r, cmp, sres.parts, numMaps, ctrs, rep)
+}
+
+// reduceOverParts is the sort+reduce tail of a reduce task: merge the fetched
+// partition segments, validate order, and run the reducer over the grouped
+// records. It is shared between the in-process executor (whose copy phase
+// hands over streamed/pre-merged parts) and the distributed runtime's workers
+// (whose parts come from per-map fetches against remote shuffle servers), so
+// both paths emit byte-identical output.
+func reduceOverParts(job *mapreduce.Job, r int, cmp writable.RawComparator, parts []*kvbuf.Segment, numMaps int, ctrs *mapreduce.Counters, rep *mapreduce.CountersReporter) error {
 	// Sort: one final merge pass over the streamed inputs — raw per-map
 	// segments plus any background-merged blocks standing in for their map
 	// ranges. Block merges preserved map-index tie-breaking, so the emitted
@@ -725,21 +735,21 @@ func runReduceTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, numMaps int,
 	// in-memory merge. Emitted records are views into sres.parts, which
 	// stay alive below.
 	var recs []kvbuf.Record
-	if _, err := kvbuf.MergeStream(cmp, sres.parts, func(k, v []byte) error {
+	if _, err := kvbuf.MergeStream(cmp, parts, func(k, v []byte) error {
 		recs = append(recs, kvbuf.Record{Key: k, Val: v})
 		return nil
 	}); err != nil {
-		return ctrs, fmt.Errorf("localrun: reduce %d merge: %w", r, err)
+		return fmt.Errorf("localrun: reduce %d merge: %w", r, err)
 	}
 	ctrs.IncrTask(mapreduce.CtrMergedMapOutputs, int64(numMaps))
 	if err := kvbuf.Validate(cmp, recs); err != nil {
-		return ctrs, fmt.Errorf("localrun: reduce %d: %w", r, err)
+		return fmt.Errorf("localrun: reduce %d: %w", r, err)
 	}
 
 	// Reduce.
 	writer, err := job.Output.Writer(job.Conf, r)
 	if err != nil {
-		return ctrs, fmt.Errorf("localrun: reduce %d output: %w", r, err)
+		return fmt.Errorf("localrun: reduce %d output: %w", r, err)
 	}
 	out := mapreduce.CollectorFunc(func(k, v writable.Writable) error {
 		ctrs.IncrTask(mapreduce.CtrReduceOutputRecords, 1)
@@ -749,7 +759,7 @@ func runReduceTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, numMaps int,
 	gi := kvbuf.NewGroupIterator(cmp, recs)
 	keyInst, err := writable.New(job.MapOutputKeyType)
 	if err != nil {
-		return ctrs, err
+		return err
 	}
 	for {
 		kb, vals, ok := gi.NextGroup()
@@ -757,25 +767,22 @@ func runReduceTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, numMaps int,
 			break
 		}
 		if err := writable.Unmarshal(kb, keyInst); err != nil {
-			return ctrs, fmt.Errorf("localrun: reduce %d key: %w", r, err)
+			return fmt.Errorf("localrun: reduce %d key: %w", r, err)
 		}
 		ctrs.IncrTask(mapreduce.CtrReduceInputGroups, 1)
 		ctrs.IncrTask(mapreduce.CtrReduceInputRecords, int64(len(vals)))
 		it := newValueIter(job.MapOutputValueType, vals)
 		if err := reducer.Reduce(keyInst, it, out, rep); err != nil {
-			return ctrs, fmt.Errorf("localrun: reduce %d: %w", r, err)
+			return fmt.Errorf("localrun: reduce %d: %w", r, err)
 		}
 		if it.err != nil {
-			return ctrs, fmt.Errorf("localrun: reduce %d values: %w", r, it.err)
+			return fmt.Errorf("localrun: reduce %d values: %w", r, it.err)
 		}
 	}
 	if err := reducer.Close(out, rep); err != nil {
-		return ctrs, err
+		return err
 	}
-	if err := writer.Close(); err != nil {
-		return ctrs, err
-	}
-	return ctrs, nil
+	return writer.Close()
 }
 
 func runMapOnly(job *mapreduce.Job, idx int, split mapreduce.InputSplit) (*mapreduce.Counters, error) {

@@ -75,6 +75,29 @@ func (c *Counters) Fault(name string) int64 { return c.Get(CounterGroupFault, na
 // IncrFault adds to a fault counter.
 func (c *Counters) IncrFault(name string, amount int64) { c.Incr(CounterGroupFault, name, amount) }
 
+// Snapshot returns a deep copy of the counter state as plain maps, the form
+// that serializes cleanly (JSON) for RPC payloads and write-ahead logs.
+func (c *Counters) Snapshot() map[string]map[string]int64 {
+	out := make(map[string]map[string]int64, len(c.groups))
+	for g, names := range c.groups {
+		m := make(map[string]int64, len(names))
+		for n, v := range names {
+			m[n] = v
+		}
+		out[g] = m
+	}
+	return out
+}
+
+// AddSnapshot folds a Snapshot back into c.
+func (c *Counters) AddSnapshot(snap map[string]map[string]int64) {
+	for g, names := range snap {
+		for n, v := range names {
+			c.Incr(g, n, v)
+		}
+	}
+}
+
 // Merge folds other into c.
 func (c *Counters) Merge(other *Counters) {
 	for g, names := range other.groups {

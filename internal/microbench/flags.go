@@ -37,16 +37,19 @@ type Flags struct {
 	slow     float64
 	conf     cliutil.KVFlag
 
-	faultSeed     int64
-	faultMap      float64
-	faultReduce   float64
-	faultDrop     float64
-	faultTrunc    float64
-	faultSlow     float64
-	faultSlowness time.Duration
-	faultSpill    float64
-	faultRetries  int
-	faultFetches  int
+	faultSeed         int64
+	faultMap          float64
+	faultReduce       float64
+	faultDrop         float64
+	faultTrunc        float64
+	faultSlow         float64
+	faultSlowness     time.Duration
+	faultSpill        float64
+	faultRetries      int
+	faultFetches      int
+	faultWorkerKill   float64
+	faultPartition    float64
+	faultPartitionDur time.Duration
 }
 
 // BindFlags registers the shared benchmark flags on fs and returns the
@@ -56,7 +59,7 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.pattern, "pattern", "MR-AVG", "micro-benchmark: MR-AVG, MR-RAND or MR-SKEW")
 	fs.StringVar(&f.network, "network", netsim.OneGigE.Name, "interconnect profile (see mrcluster -profiles)")
 	fs.StringVar(&f.cluster, "cluster", "A", "testbed: A (OSU Westmere) or B (TACC Stampede)")
-	fs.StringVar(&f.engine, "engine", "mrv1", "Hadoop generation: mrv1 or yarn")
+	fs.StringVar(&f.engine, "engine", "mrv1", "runtime: mrv1 or yarn (simulated), dist (real multi-process)")
 	fs.IntVar(&f.slaves, "slaves", 4, "slave node count")
 	fs.IntVar(&f.maps, "maps", 0, "map tasks (default 4 per slave)")
 	fs.IntVar(&f.reduces, "reduces", 0, "reduce tasks (default 2 per slave)")
@@ -82,6 +85,9 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.Float64Var(&f.faultSpill, "fault-spill", 0, "probability a map-side spill hits a transient I/O error")
 	fs.IntVar(&f.faultRetries, "fault-max-attempts", 0, "task attempt bound under faults (default 4, Hadoop's mapreduce.map.maxattempts)")
 	fs.IntVar(&f.faultFetches, "fault-max-fetch-attempts", 0, "shuffle-fetch attempt bound per segment (default 4)")
+	fs.Float64Var(&f.faultWorkerKill, "fault-worker-kill", 0, "probability a worker process dies at a checkpoint (dist engine only)")
+	fs.Float64Var(&f.faultPartition, "fault-partition", 0, "probability a worker is partitioned from the coordinator at a checkpoint (dist engine only)")
+	fs.DurationVar(&f.faultPartitionDur, "fault-partition-duration", 0, "length of an injected partition (default 400ms)")
 	return f
 }
 
@@ -106,7 +112,7 @@ func (f *Flags) Config() (Config, error) {
 		ExtraConf:      f.conf.Map(),
 	}
 	if f.faultMap > 0 || f.faultReduce > 0 || f.faultDrop > 0 || f.faultTrunc > 0 ||
-		f.faultSlow > 0 || f.faultSpill > 0 {
+		f.faultSlow > 0 || f.faultSpill > 0 || f.faultWorkerKill > 0 || f.faultPartition > 0 {
 		cfg.Faults = &faultinject.Plan{
 			Seed:                pickInt64(f.faultSeed, f.seed),
 			MapFailureRate:      f.faultMap,
@@ -118,6 +124,9 @@ func (f *Flags) Config() (Config, error) {
 			SpillErrorRate:      f.faultSpill,
 			MaxTaskAttempts:     f.faultRetries,
 			MaxFetchAttempts:    f.faultFetches,
+			WorkerKillRate:      f.faultWorkerKill,
+			PartitionRate:       f.faultPartition,
+			PartitionDuration:   f.faultPartitionDur,
 		}
 	}
 	if f.size != "" {
@@ -148,8 +157,9 @@ func ParseRepro(args []string) (Config, error) {
 // parses, with every default spelled out, so
 // ParseRepro(cfg.ReproFlags()).Normalize() == cfg.Normalize(). Fields with
 // no flag form are not representable: per-task forced failure counts
-// (Plan.MapFailures/ReduceFailures), a custom cost Model, and
-// MonitorInterval are all omitted.
+// (Plan.MapFailures/ReduceFailures), forced process-fault schedules
+// (Plan.WorkerKills/Partitions), a custom cost Model, and MonitorInterval
+// are all omitted.
 func (c Config) ReproFlags() []string {
 	if n, err := c.withDefaults(); err == nil {
 		c = n
@@ -193,6 +203,8 @@ func (c Config) ReproFlags() []string {
 			{"-fault-shuffle-truncate", p.ShuffleTruncateRate},
 			{"-fault-shuffle-slow", p.ShuffleSlowRate},
 			{"-fault-spill", p.SpillErrorRate},
+			{"-fault-worker-kill", p.WorkerKillRate},
+			{"-fault-partition", p.PartitionRate},
 		} {
 			if rf.rate > 0 {
 				args = append(args, rf.flag, formatFloat(rf.rate))
@@ -200,6 +212,9 @@ func (c Config) ReproFlags() []string {
 		}
 		if p.ShuffleSlowness > 0 {
 			args = append(args, "-fault-shuffle-slowness", p.ShuffleSlowness.String())
+		}
+		if p.PartitionDuration > 0 {
+			args = append(args, "-fault-partition-duration", p.PartitionDuration.String())
 		}
 		if p.MaxTaskAttempts > 0 {
 			args = append(args, "-fault-max-attempts", strconv.Itoa(p.MaxTaskAttempts))

@@ -65,6 +65,9 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Engine == EngineDist {
+		return nil, fmt.Errorf("microbench: engine %q is the real multi-process runtime, not a simulated generation; run it via mrbench -engine=dist (internal/distrun)", cfg.Engine)
+	}
 	spec, err := BuildSpec(cfg)
 	if err != nil {
 		return nil, err

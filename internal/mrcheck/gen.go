@@ -1,11 +1,14 @@
 // Package mrcheck is the suite's property-based differential tester: it
 // generates random-but-valid benchmark configurations, runs each through the
-// real executor (internal/localrun) and the simulated engines (mrv1, yarn),
-// and checks a library of cross-engine invariants — partition-stream oracles
-// per pattern, counter identity, byte-identical reduce output against the
-// barrier schedule, shuffle-byte accounting, and recovery equivalence under
-// injected faults. Failing configurations are shrunk greedily before being
-// reported with a one-line flag-form repro (microbench.Config.Repro).
+// real executor (internal/localrun), the simulated engines (mrv1, yarn),
+// and — when asked for the dist engine — the real multi-process distributed
+// runtime (internal/distrun), and checks a library of cross-engine
+// invariants: partition-stream oracles per pattern, counter identity,
+// byte-identical reduce output against the barrier schedule, shuffle-byte
+// accounting, and recovery equivalence under injected faults (including
+// worker-process kills and network partitions for the distributed runtime).
+// Failing configurations are shrunk greedily before being reported with a
+// one-line flag-form repro (microbench.Config.Repro).
 //
 // The package exists because the suite is a measurement instrument: its
 // numbers are only meaningful if every engine computes the same MapReduce
@@ -117,6 +120,16 @@ func genPlan(rng *rand.Rand) *faultinject.Plan {
 	if !p.Enabled() {
 		// Guarantee at least one active site so -faults runs inject something.
 		p.ShuffleDropRate = 0.2
+	}
+	// Process-level faults: only the distributed runtime acts on these (the
+	// in-process engines ignore them), so they ride along at modest rates and
+	// make `-engines dist -faults` runs exercise worker death and fencing.
+	// Drawn after the task-level fallback so that guarantee stays task-level.
+	if rng.Intn(4) == 0 {
+		p.WorkerKillRate = 0.05 + 0.1*rng.Float64()
+	}
+	if rng.Intn(6) == 0 {
+		p.PartitionRate = 0.03 + 0.05*rng.Float64()
 	}
 	return p
 }

@@ -8,6 +8,7 @@ import (
 	"hash/fnv"
 	"time"
 
+	"mrmicro/internal/distrun"
 	"mrmicro/internal/faultinject"
 	"mrmicro/internal/javarand"
 	"mrmicro/internal/kvbuf"
@@ -188,9 +189,25 @@ func CheckConfig(cfg microbench.Config, opts CheckOptions) error {
 		}
 	}
 
+	// Invariant: distributed recovery equivalence — the real multi-process
+	// runtime (worker processes over hadooprpc, localrun's TCP shuffle as the
+	// data plane), under the same fault plan including process-level worker
+	// kills and partitions, must reproduce the single-process oracle's output
+	// digests, record counts, and task counters exactly. Runs when the config
+	// itself pins the dist engine (as distributed corpus repros do) or when
+	// the caller asked for it in Engines.
+	if cfg.Engine == microbench.EngineDist || hasEngine(opts.engines(), microbench.EngineDist) {
+		if err := checkDist(cfg); err != nil {
+			return err
+		}
+	}
+
 	// Simulated engines: counter identity with the real executor, clean and
 	// under the same fault plan.
 	for _, engine := range opts.engines() {
+		if engine == microbench.EngineDist {
+			continue // the real runtime, checked by checkDist above
+		}
 		ecfg := cfg
 		ecfg.Engine = engine
 		ecfg.Faults = nil
@@ -242,6 +259,60 @@ func CheckConfig(cfg microbench.Config, opts CheckOptions) error {
 		}
 	}
 	return nil
+}
+
+// checkDist runs cfg on the real distributed runtime and holds it to
+// distrun's single-process oracle: per-reduce output digests, input record
+// counts, and the task counter group must match exactly, faults or not.
+// A job that legally exhausts a task's attempt budget under the plan is a
+// Skip, like localrun's ErrInjected. MutateJob does not cross the process
+// boundary, so this invariant always checks the unmutated job; the calling
+// binary must run distrun.MaybeWorker at startup (cmd/mrcheck and this
+// package's TestMain both do) so spawned workers can bootstrap.
+func checkDist(cfg microbench.Config) error {
+	want, err := distrun.LocalOracle(cfg)
+	if err != nil {
+		return err
+	}
+	dcfg := cfg
+	dcfg.Engine = microbench.EngineDist
+	res, err := distrun.Run(dcfg, &distrun.Options{Workers: 2, Digest: true, Respawn: true})
+	if err != nil {
+		if errors.Is(err, distrun.ErrAttemptsExhausted) {
+			return &SkipError{err}
+		}
+		return err
+	}
+	if res.JobDigest != want.JobDigest {
+		return &Failure{cfg, "dist/output", fmt.Sprintf(
+			"distributed job digest %016x, single-process oracle %016x", res.JobDigest, want.JobDigest)}
+	}
+	for r := 0; r < cfg.NumReduces; r++ {
+		if res.PerReduceDigests[r] != want.PerReduceDigests[r] {
+			return &Failure{cfg, "dist/output", fmt.Sprintf(
+				"reduce %d digest %016x, oracle %016x", r, res.PerReduceDigests[r], want.PerReduceDigests[r])}
+		}
+		if res.PerReduceRecords[r] != want.PerReduceRecords[r] {
+			return &Failure{cfg, "dist/records", fmt.Sprintf(
+				"reduce %d consumed %d records, oracle says %d", r, res.PerReduceRecords[r], want.PerReduceRecords[r])}
+		}
+	}
+	for _, ctr := range taskIdentityCounters {
+		if got, w := res.Counters.Task(ctr), want.Counters.Task(ctr); got != w {
+			return &Failure{cfg, "dist/counters", fmt.Sprintf(
+				"task counter %s=%d distributed, %d single-process", ctr, got, w)}
+		}
+	}
+	return nil
+}
+
+func hasEngine(engines []microbench.Engine, e microbench.Engine) bool {
+	for _, x := range engines {
+		if x == e {
+			return true
+		}
+	}
+	return false
 }
 
 // taskIdentityCounters are the task counters that must be unchanged by fault

@@ -2,14 +2,25 @@ package mrcheck
 
 import (
 	"errors"
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 
+	"mrmicro/internal/distrun"
 	"mrmicro/internal/mapreduce"
 	"mrmicro/internal/microbench"
 	"mrmicro/internal/writable"
 )
+
+// TestMain lets this test binary double as a distrun worker process: checks
+// against the dist engine (the distributed corpus repros pin it) spawn
+// workers by re-executing the binary, and a spawned copy never returns from
+// MaybeWorker.
+func TestMain(m *testing.M) {
+	distrun.MaybeWorker()
+	os.Exit(m.Run())
+}
 
 // TestGenerateDeterministic: (seed, i) fully determines the config — replaying
 // any iteration in isolation must reproduce it exactly.
