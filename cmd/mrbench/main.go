@@ -36,6 +36,7 @@ func main() {
 		tasklog = flag.Bool("tasklog", false, "print the per-task-attempt timeline (Gantt)")
 		traceF  = flag.String("trace", "", "write a Chrome trace-event JSON of the job to this file")
 		local   = flag.Bool("local", false, "execute for real in-process (small scale) instead of simulating")
+		diskSh  = flag.Bool("diskshuffle", false, "store committed map outputs in spill files, served via sendfile (-local; default: retained buffers + writev)")
 		benchF  = flag.String("bench-json", "", "write machine-readable local-execution throughput results to this file (implies -local)")
 		benchN  = flag.Int("bench-reps", 5, "repetitions per configuration for -bench-json medians")
 		workers = flag.Int("workers", 2, "worker processes for -engine=dist")
@@ -67,7 +68,7 @@ func main() {
 		return
 	}
 	if *local || *benchF != "" {
-		runLocal(cfg, *benchF, *benchN)
+		runLocal(cfg, *diskSh, *benchF, *benchN)
 		return
 	}
 	res, err := microbench.Run(cfg)
@@ -93,13 +94,17 @@ func main() {
 
 // localOnce builds and executes one real run of cfg, returning the result
 // and its wall time.
-func localOnce(cfg microbench.Config) (*localrun.Result, time.Duration) {
+func localOnce(cfg microbench.Config, disk bool) (*localrun.Result, time.Duration) {
 	job, err := microbench.BuildJob(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	start := time.Now()
-	res, err := localrun.Run(job, &localrun.Options{Faults: cfg.Faults, ParallelCopies: cfg.ParallelCopies})
+	res, err := localrun.Run(job, &localrun.Options{
+		Faults:         cfg.Faults,
+		ParallelCopies: cfg.ParallelCopies,
+		DiskShuffle:    disk,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -133,8 +138,8 @@ func runDist(cfg microbench.Config, opts *distrun.Options) {
 	}
 }
 
-func runLocal(cfg microbench.Config, benchPath string, reps int) {
-	res, elapsed := localOnce(cfg)
+func runLocal(cfg microbench.Config, disk bool, benchPath string, reps int) {
+	res, elapsed := localOnce(cfg, disk)
 	fmt.Printf("=== %s micro-benchmark (REAL execution via localrun) ===\n", cfg.Pattern)
 	fmt.Printf("maps/reduces        %d / %d\n", res.NumMaps, res.NumReduces)
 	fmt.Printf("wall time           %v\n", elapsed.Round(time.Millisecond))
@@ -146,7 +151,7 @@ func runLocal(cfg microbench.Config, benchPath string, reps int) {
 		fmt.Print(metrics.RenderKV("injected faults survived:", faultKVs(res.Counters)))
 	}
 	if benchPath != "" {
-		if err := writeBenchJSON(benchPath, cfg, reps); err != nil {
+		if err := writeBenchJSON(benchPath, cfg, disk, reps); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("\nwrote benchmark results to %s\n", benchPath)
@@ -161,6 +166,7 @@ type benchReport struct {
 	Command string       `json:"command"`
 	Config  benchConfig  `json:"config"`
 	Results benchResults `json:"results"`
+	Codec   benchCodec   `json:"codec"`
 }
 
 type benchConfig struct {
@@ -173,6 +179,9 @@ type benchConfig struct {
 	NumReduces     int     `json:"reduces"`
 	ParallelCopies int     `json:"parallel_copies"`
 	Slowstart      float64 `json:"slowstart"`
+	Codec          string  `json:"codec"`
+	Combine        bool    `json:"combine"`
+	DiskShuffle    bool    `json:"diskshuffle"`
 	Reps           int     `json:"reps"`
 }
 
@@ -194,6 +203,25 @@ type benchResults struct {
 	ReduceOutRecs    int64   `json:"reduce_output_records"`
 }
 
+// benchCodec compares the same configuration with spill-time compression off
+// and on, measured in the same process: the end-to-end cost or win of the
+// codec on the data plane, and the wire-byte ratio it buys.
+type benchCodec struct {
+	PlainWallMS      float64 `json:"plain_wall_ms"`   // median, codec off
+	DeflateWallMS    float64 `json:"deflate_wall_ms"` // median, codec deflate
+	PlainWireBytes   int64   `json:"plain_wire_bytes"`
+	DeflateWireBytes int64   `json:"deflate_wire_bytes"`
+	CompressionRatio float64 `json:"compression_ratio"` // deflate wire / plain wire
+	SpeedupVsPlain   float64 `json:"speedup_vs_plain"`  // plain wall / deflate wall
+}
+
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
 func median(xs []float64) float64 {
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
@@ -207,7 +235,7 @@ func median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
-func writeBenchJSON(path string, cfg microbench.Config, reps int) error {
+func writeBenchJSON(path string, cfg microbench.Config, disk bool, reps int) error {
 	if reps < 1 {
 		reps = 1
 	}
@@ -216,7 +244,7 @@ func writeBenchJSON(path string, cfg microbench.Config, reps int) error {
 		out := make([]sample, reps)
 		var last *localrun.Result
 		for i := range out {
-			res, elapsed := localOnce(c)
+			res, elapsed := localOnce(c, disk)
 			out[i] = sample{
 				wall:     float64(elapsed.Microseconds()) / 1e3,
 				mapPhase: float64(res.MapPhase.Microseconds()) / 1e3,
@@ -240,6 +268,19 @@ func writeBenchJSON(path string, cfg microbench.Config, reps int) error {
 	barrierCfg.Slowstart = 1.0
 	barrier, _ := measure(barrierCfg)
 
+	// Codec on/off comparison at the same configuration, same process: the
+	// main results above keep cfg's own codec setting; this pair isolates
+	// what spill-time compression costs (or buys) end to end.
+	plainCfg, deflCfg := cfg, cfg
+	plainCfg.Codec = ""
+	deflCfg.Codec = "deflate"
+	plain, plainRes := measure(plainCfg)
+	defl, deflRes := measure(deflCfg)
+	plainWall := median(pluck(plain, func(s sample) float64 { return s.wall }))
+	deflWall := median(pluck(defl, func(s sample) float64 { return s.wall }))
+	plainWire := plainRes.Counters.Task(mapreduce.CtrReduceShuffleBytes)
+	deflWire := deflRes.Counters.Task(mapreduce.CtrReduceShuffleBytes)
+
 	wall := median(pluck(overlapped, func(s sample) float64 { return s.wall }))
 	barrierWall := median(pluck(barrier, func(s sample) float64 { return s.wall }))
 	secs := wall / 1e3
@@ -249,10 +290,20 @@ func writeBenchJSON(path string, cfg microbench.Config, reps int) error {
 	if wall > 0 {
 		speedup = barrierWall / wall
 	}
+	extras := ""
+	if cfg.Codec != "" {
+		extras += fmt.Sprintf(" -codec %s", cfg.Codec)
+	}
+	if cfg.Combine {
+		extras += " -combine"
+	}
+	if disk {
+		extras += " -diskshuffle"
+	}
 	rep := benchReport{
-		Schema: "mrmicro-localrun-bench/v2",
-		Command: fmt.Sprintf("mrbench -local -pattern %s -datatype %s -keysize %d -valuesize %d -pairs %d -maps %d -reduces %d -parallelcopies %d -slowstart %g -bench-reps %d -bench-json %s",
-			cfg.Pattern, cfg.DataType, cfg.KeySize, cfg.ValueSize, cfg.PairsPerMap, res.NumMaps, res.NumReduces, cfg.ParallelCopies, cfg.Slowstart, reps, path),
+		Schema: "mrmicro-localrun-bench/v3",
+		Command: fmt.Sprintf("mrbench -local -pattern %s -datatype %s -keysize %d -valuesize %d -pairs %d -maps %d -reduces %d -parallelcopies %d -slowstart %g%s -bench-reps %d -bench-json %s",
+			cfg.Pattern, cfg.DataType, cfg.KeySize, cfg.ValueSize, cfg.PairsPerMap, res.NumMaps, res.NumReduces, cfg.ParallelCopies, cfg.Slowstart, extras, reps, path),
 		Config: benchConfig{
 			Pattern:        string(cfg.Pattern),
 			DataType:       cfg.DataType,
@@ -263,6 +314,9 @@ func writeBenchJSON(path string, cfg microbench.Config, reps int) error {
 			NumReduces:     res.NumReduces,
 			ParallelCopies: cfg.ParallelCopies,
 			Slowstart:      cfg.Slowstart,
+			Codec:          cfg.Codec,
+			Combine:        cfg.Combine,
+			DiskShuffle:    disk,
 			Reps:           reps,
 		},
 		Results: benchResults{
@@ -278,6 +332,14 @@ func writeBenchJSON(path string, cfg microbench.Config, reps int) error {
 			ShuffleMBPerSec:  float64(shuffled) / (1 << 20) / secs,
 			SpilledRecords:   res.Counters.Task(mapreduce.CtrSpilledRecords),
 			ReduceOutRecs:    res.Counters.Task(mapreduce.CtrReduceOutputRecords),
+		},
+		Codec: benchCodec{
+			PlainWallMS:      plainWall,
+			DeflateWallMS:    deflWall,
+			PlainWireBytes:   plainWire,
+			DeflateWireBytes: deflWire,
+			CompressionRatio: ratio(float64(deflWire), float64(plainWire)),
+			SpeedupVsPlain:   ratio(plainWall, deflWall),
 		},
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

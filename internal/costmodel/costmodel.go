@@ -36,6 +36,10 @@ type Model struct {
 	ReduceRecordCPU float64 // reduce function + iterator, core-sec/record
 	ReduceByteCPU   float64 // value deserialization etc., core-sec/byte
 
+	// Map-side combiner: one combiner-input record pushed through the
+	// combine function at spill/merge time, core-sec/record.
+	CombineRecordCPU float64
+
 	// Intermediate compression codec (LZO/Snappy-class), per raw byte.
 	CompressCPU   float64
 	DecompressCPU float64
@@ -62,6 +66,8 @@ func Default() *Model {
 
 		ReduceRecordCPU: 2.0e-6,
 		ReduceByteCPU:   15e-9,
+
+		CombineRecordCPU: 1.2e-6, // combiner call + group iterator per input record
 
 		CompressCPU:   2.5e-9, // ~400 MB/s per core
 		DecompressCPU: 0.9e-9, // ~1.1 GB/s per core

@@ -1,0 +1,46 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigCodecCrossover checks the figure's headline claim: deflate pays on
+// the slow end of the interconnect ladder and stops paying by the RDMA rung,
+// where the eager path moves raw bytes and the codec is pure CPU overhead.
+// The combiner's saving is wire-independent, so it must win on every rung.
+func TestFigCodecCrossover(t *testing.T) {
+	out := generate(t, "fig-codec", Options{Quick: true})
+	tb := out.Tables[0]
+	plain := seriesVals(t, tb, "plain")
+	defl := seriesVals(t, tb, "deflate")
+	comb := seriesVals(t, tb, "combine")
+	both := seriesVals(t, tb, "deflate+combine")
+	if len(plain) != 5 {
+		t.Fatalf("expected 5 interconnect rungs, got %d", len(plain))
+	}
+	if defl[0] >= plain[0] {
+		t.Errorf("deflate should pay on 1GigE: deflate=%.2fs plain=%.2fs", defl[0], plain[0])
+	}
+	last := len(plain) - 1
+	if defl[last] < plain[last] {
+		t.Errorf("deflate should not pay on RDMA: deflate=%.2fs plain=%.2fs", defl[last], plain[last])
+	}
+	for i := range plain {
+		if comb[i] >= plain[i] {
+			t.Errorf("combine should pay on %s: combine=%.2fs plain=%.2fs", tb.XTicks[i], comb[i], plain[i])
+		}
+		if both[i] >= plain[i] {
+			t.Errorf("deflate+combine should pay on %s: both=%.2fs plain=%.2fs", tb.XTicks[i], both[i], plain[i])
+		}
+	}
+	var sawCrossover bool
+	for _, n := range out.Notes {
+		if strings.Contains(n, "crossover") {
+			sawCrossover = true
+		}
+	}
+	if !sawCrossover {
+		t.Errorf("expected a crossover note, got %q", out.Notes)
+	}
+}

@@ -1,0 +1,52 @@
+package figures
+
+import (
+	"os"
+	"testing"
+
+	"mrmicro/internal/distrun"
+	"mrmicro/internal/microbench"
+	"mrmicro/internal/simcache"
+)
+
+// Dist sweep points re-execute this test binary as worker processes via
+// MaybeWorker.
+func TestMain(m *testing.M) {
+	distrun.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// TestDistEnginePoint runs one sweep point on the real multi-process runtime
+// through the figure runner: wall-clock JobSeconds, measured shuffle bytes,
+// and — because elapsed time is not a function of the config — no cache
+// entry, even when a cache is wired in.
+func TestDistEnginePoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	cache, err := simcache.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := microbench.Config{
+		Pattern: microbench.MRRand,
+		Engine:  microbench.EngineDist,
+		Slaves:  2, NumMaps: 3, NumReduces: 2,
+		KeySize: 32, ValueSize: 64, PairsPerMap: 200,
+		Codec: "deflate",
+	}
+	results, err := Runner{Cache: cache}.RunAll([]microbench.Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := results[0]
+	if pr.JobSeconds <= 0 {
+		t.Errorf("JobSeconds = %v, want > 0", pr.JobSeconds)
+	}
+	if pr.ShuffleBytes <= 0 {
+		t.Errorf("ShuffleBytes = %v, want > 0", pr.ShuffleBytes)
+	}
+	if hits, misses := cache.Stats(); hits != 0 || misses != 0 {
+		t.Errorf("dist point touched the cache: hits=%d misses=%d", hits, misses)
+	}
+}

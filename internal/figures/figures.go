@@ -91,6 +91,7 @@ func All() []Figure {
 		{"fig7", "Resource utilization on one slave (MR-AVG, 16 GB)", runFig7},
 		{"fig8a", "IPoIB FDR vs RDMA, Cluster B, 8 slaves (MR-AVG, 32M/16R)", runFig8(8)},
 		{"fig8b", "IPoIB FDR vs RDMA, Cluster B, 16 slaves (MR-AVG, 32M/16R)", runFig8(16)},
+		{"fig-codec", "Shuffle compression and combiner across interconnects (MR-RAND, MRv1)", runFigCodec},
 		{"summary", "Conclusion summary: network improvement percentages", runSummary},
 	}
 }
@@ -384,6 +385,100 @@ func runFig8(slaves int) func(Options) (*Output, error) {
 			Notes:  improvementNotes(table, "IPoIB(56Gbps)"),
 		}, nil
 	}
+}
+
+// runFigCodec sweeps the shuffle data-plane knobs — spill-time deflate
+// compression and the first-value combiner — across the interconnect
+// ladder, charting where compression stops paying. On slow wires the codec
+// trades cheap CPU for halved shuffle bytes; as the network speeds up the
+// wire saving shrinks while the compress/decompress CPU stays, and on the
+// RDMA eager path (which moves raw bytes end to end) the codec is pure
+// overhead. The combiner collapses duplicate keys before any byte is
+// spilled, so it keeps paying on every interconnect.
+func runFigCodec(o Options) (*Output, error) {
+	size := 16.0
+	if o.Quick {
+		size = 2.0
+	}
+	rungs := []struct {
+		name    string
+		cluster microbench.ClusterID
+		network string
+		rdma    bool
+	}{
+		{"1GigE", microbench.ClusterA, netsim.OneGigE.Name, false},
+		{"10GigE", microbench.ClusterA, netsim.TenGigE.Name, false},
+		{"IPoIB-QDR", microbench.ClusterA, netsim.IPoIBQDR32.Name, false},
+		{"IPoIB-FDR", microbench.ClusterB, netsim.IPoIBFDR56.Name, false},
+		{"RDMA-FDR", microbench.ClusterB, netsim.RDMAFDR56.Name, true},
+	}
+	modes := []struct {
+		name    string
+		codec   string
+		combine bool
+	}{
+		{"plain", "", false},
+		{"deflate", "deflate", false},
+		{"combine", "", true},
+		{"deflate+combine", "deflate", true},
+	}
+	var cfgs []microbench.Config
+	for _, mode := range modes {
+		for _, rung := range rungs {
+			cfgs = append(cfgs, microbench.Config{
+				Pattern: microbench.MRRand,
+				Engine:  microbench.EngineMRv1,
+				Cluster: rung.cluster,
+				Slaves:  4, NumMaps: 16, NumReduces: 8,
+				KeySize: 1024, ValueSize: 1024,
+				Network:     rung.network,
+				RDMAShuffle: rung.rdma,
+				Codec:       mode.codec,
+				Combine:     mode.combine,
+			}.WithShuffleSize(gib(size)))
+		}
+	}
+	results, err := o.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	ticks := make([]string, len(rungs))
+	for i, rung := range rungs {
+		ticks[i] = rung.name
+	}
+	table := metrics.NewTable(
+		fmt.Sprintf("Codec x combiner across interconnects (MR-RAND, %gGB shuffle)", size),
+		"Interconnect", "Job Execution Time (seconds)", ticks)
+	for mi, mode := range modes {
+		vals := make([]float64, len(rungs))
+		for i := range rungs {
+			vals[i] = results[mi*len(rungs)+i].JobSeconds
+		}
+		table.AddSeries(mode.name, vals)
+	}
+	plain, _ := table.SeriesByName("plain")
+	defl, _ := table.SeriesByName("deflate")
+	comb, _ := table.SeriesByName("combine")
+	var notes []string
+	crossover := -1
+	for i, rung := range rungs {
+		pct := 100 * (plain.Values[i] - defl.Values[i]) / plain.Values[i]
+		verdict := "pays"
+		if pct <= 0.5 {
+			verdict = "stops paying"
+			if crossover < 0 {
+				crossover = i
+			}
+		}
+		notes = append(notes, fmt.Sprintf("deflate vs plain on %s: %+.1f%% (%s)", rung.name, pct, verdict))
+	}
+	if crossover > 0 {
+		notes = append(notes, fmt.Sprintf("compression crossover: pays up to %s, stops at %s",
+			rungs[crossover-1].name, rungs[crossover].name))
+	}
+	notes = append(notes, fmt.Sprintf("combiner vs plain: %.1f%% mean across all interconnects (wire-independent)",
+		metrics.Mean(metrics.ImprovementPct(plain, comb))))
+	return &Output{Tables: []*metrics.Table{table}, Notes: notes}, nil
 }
 
 // runSummary reproduces the conclusion's headline percentages at the

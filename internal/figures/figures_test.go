@@ -33,7 +33,8 @@ func TestAllFiguresRegistered(t *testing.T) {
 		}
 	}
 	for _, want := range []string{"fig2a", "fig2b", "fig2c", "fig3a", "fig3b", "fig3c",
-		"fig4a", "fig4b", "fig4c", "fig5", "fig6a", "fig6b", "fig7", "fig8a", "fig8b", "summary"} {
+		"fig4a", "fig4b", "fig4c", "fig5", "fig6a", "fig6b", "fig7", "fig8a", "fig8b",
+		"fig-codec", "summary"} {
 		if !ids[want] {
 			t.Errorf("missing figure %s", want)
 		}

@@ -1,0 +1,115 @@
+package kvbuf
+
+import (
+	"compress/flate"
+	"io"
+	"sync"
+)
+
+// Codec is a pluggable compression codec for IFile segments, the
+// real-execution analogue of mapreduce.map.output.compress.codec. Segments
+// are compressed once on the map side (at spill time) and travel the wire
+// compressed; the reduce side inflates them streaming off the socket.
+type Codec interface {
+	// Name identifies the codec in conf values and in the compressed
+	// segment header.
+	Name() string
+	// Compress appends src's compressed stream to dst and returns the
+	// extended slice.
+	Compress(dst, src []byte) []byte
+	// NewReader wraps r with a streaming decompressor.
+	NewReader(r io.Reader) io.ReadCloser
+}
+
+// Deflate is the stdlib DEFLATE codec at BestSpeed — the spiritual
+// equivalent of Hadoop's default DefaultCodec (zlib), tuned for the
+// shuffle's throughput-over-ratio trade-off.
+var Deflate Codec = deflateCodec{}
+
+// CodecByName resolves a codec by its conf value. The empty string and
+// "none" resolve to a nil codec (compression off) with ok=true; unknown
+// names return ok=false.
+func CodecByName(name string) (Codec, bool) {
+	switch name {
+	case "", "none":
+		return nil, true
+	case "deflate":
+		return Deflate, true
+	}
+	return nil, false
+}
+
+// CodecNames lists the accepted conf values for a codec choice.
+func CodecNames() []string { return []string{"none", "deflate"} }
+
+type deflateCodec struct{}
+
+func (deflateCodec) Name() string { return "deflate" }
+
+// flateWriters recycles flate.Writer state (~600KB of window and huffman
+// tables each) across spills; flateReaders does the same for the ~40KB
+// decompressor state on the fetch path.
+var flateWriters = sync.Pool{New: func() any {
+	w, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+	if err != nil {
+		panic(err) // fixed, valid level
+	}
+	return w
+}}
+
+var flateReaders = sync.Pool{New: func() any {
+	return flate.NewReader(emptyReader{})
+}}
+
+type emptyReader struct{}
+
+func (emptyReader) Read([]byte) (int, error) { return 0, io.EOF }
+
+// appendWriter is an io.Writer that appends into a slice, so codecs can
+// compress straight into a pooled segment buffer.
+type appendWriter struct{ buf []byte }
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+func (deflateCodec) Compress(dst, src []byte) []byte {
+	aw := &appendWriter{buf: dst}
+	zw := flateWriters.Get().(*flate.Writer)
+	zw.Reset(aw)
+	if _, err := zw.Write(src); err != nil {
+		panic(err) // appendWriter cannot fail
+	}
+	if err := zw.Close(); err != nil {
+		panic(err)
+	}
+	flateWriters.Put(zw)
+	return aw.buf
+}
+
+func (deflateCodec) NewReader(r io.Reader) io.ReadCloser {
+	zr := flateReaders.Get().(io.ReadCloser)
+	if err := zr.(flate.Resetter).Reset(r, nil); err != nil {
+		panic(err) // nil dict cannot fail
+	}
+	return &pooledFlateReader{zr: zr}
+}
+
+// pooledFlateReader returns the decompressor to the pool on Close.
+type pooledFlateReader struct {
+	zr     io.ReadCloser
+	closed bool
+}
+
+func (p *pooledFlateReader) Read(b []byte) (int, error) { return p.zr.Read(b) }
+
+func (p *pooledFlateReader) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	err := p.zr.Close()
+	flateReaders.Put(p.zr)
+	return err
+}

@@ -1,0 +1,95 @@
+package kvbuf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mrmicro/internal/writable"
+)
+
+// benchSegmentFor builds one sorted single-partition segment of n records
+// with 10-byte keys and 30-byte values. fill writes each value: random bytes
+// are deflate's worst case (stored blocks, wire/raw ~0.9 — only the keys
+// resist), constant bytes the shape of the suite's generated filler
+// (wire/raw ~0.26), bracketing the codec's range on real shuffle payloads.
+func benchSegmentFor(b *testing.B, n int, fill func(*rand.Rand, []byte)) *Segment {
+	b.Helper()
+	cmp, _ := writable.Comparator("BytesWritable")
+	rng := rand.New(rand.NewSource(42))
+	buf := NewSortBuffer(16<<20, 1, cmp)
+	defer buf.Release()
+	for i := 0; i < n; i++ {
+		k := make([]byte, 10)
+		v := make([]byte, 30)
+		rng.Read(k)
+		fill(rng, v)
+		key := writable.Marshal(&writable.BytesWritable{Data: k})
+		if ok, err := buf.Add(0, key, v); err != nil || !ok {
+			b.Fatalf("add: ok=%v err=%v", ok, err)
+		}
+	}
+	out, _ := buf.Spill()
+	return out[0]
+}
+
+func randomFill(rng *rand.Rand, v []byte) { rng.Read(v) }
+func zeroFill(*rand.Rand, []byte)         {}
+
+// benchmarkCodecCompress measures spill-time compression throughput in raw
+// (uncompressed) MB/s, the rate the map task's spill path experiences.
+func benchmarkCodecCompress(b *testing.B, fill func(*rand.Rand, []byte)) {
+	seg := benchSegmentFor(b, 16384, fill)
+	comp := CompressSegmentWith(seg, Deflate)
+	ratio := float64(comp.Len()) / float64(seg.Len())
+	comp.Recycle()
+	b.ReportAllocs()
+	b.SetBytes(int64(seg.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := CompressSegmentWith(seg, Deflate)
+		c.Recycle()
+	}
+	b.ReportMetric(ratio, "wire/raw")
+}
+
+func BenchmarkCodecCompressDeflateRandom(b *testing.B) { benchmarkCodecCompress(b, randomFill) }
+func BenchmarkCodecCompressDeflateConst(b *testing.B)  { benchmarkCodecCompress(b, zeroFill) }
+
+// benchmarkCodecDecompress measures the buffered decode path (header parse,
+// exact-size inflate, stream-end check) in raw MB/s.
+func benchmarkCodecDecompress(b *testing.B, fill func(*rand.Rand, []byte)) {
+	seg := benchSegmentFor(b, 16384, fill)
+	comp := CompressSegmentWith(seg, Deflate)
+	b.ReportAllocs()
+	b.SetBytes(int64(seg.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := comp.Decompress()
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw.Recycle()
+	}
+}
+
+func BenchmarkCodecDecompressDeflateRandom(b *testing.B) { benchmarkCodecDecompress(b, randomFill) }
+func BenchmarkCodecDecompressDeflateConst(b *testing.B)  { benchmarkCodecDecompress(b, zeroFill) }
+
+// BenchmarkCodecStreamRead measures the fetch-side streaming path: inflate
+// fused with the IFile CRC verify in fixed-size chunks, as segmentFetcher
+// consumes wire bytes.
+func BenchmarkCodecStreamRead(b *testing.B) {
+	seg := benchSegmentFor(b, 16384, zeroFill)
+	comp := CompressSegmentWith(seg, Deflate)
+	b.ReportAllocs()
+	b.SetBytes(int64(seg.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := ReadCompressedSegment(bytes.NewReader(comp.Bytes()), comp.Len())
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw.Recycle()
+	}
+}

@@ -39,15 +39,19 @@ var segBufPool = sync.Pool{New: func() any { return new([]byte) }}
 // capacity from the exact bytes it is about to append gets a single
 // allocation at worst and a pooled buffer at best.
 func NewWriter(capacity int) *Writer {
+	return &Writer{out: writable.NewDataOutputOn(pooledBuf(capacity))}
+}
+
+// pooledBuf returns an empty buffer with at least the given capacity,
+// recycled from the segment pool when possible.
+func pooledBuf(capacity int) []byte {
 	bp := segBufPool.Get().(*[]byte)
 	buf := *bp
 	*bp = nil
 	if cap(buf) < capacity {
-		buf = make([]byte, 0, capacity)
-	} else {
-		buf = buf[:0]
+		return make([]byte, 0, capacity)
 	}
-	return &Writer{out: writable.NewDataOutputOn(buf)}
+	return buf[:0]
 }
 
 // Append adds one record.
@@ -95,6 +99,8 @@ type Segment struct {
 	data       []byte
 	records    int
 	compressed bool
+	rawLen     int    // decompressed size, when compressed
+	codec      string // codec name, when compressed
 }
 
 // SegmentFromBytes adopts a serialized IFile stream (e.g. received from the
@@ -123,6 +129,9 @@ func (s *Segment) Recycle() {
 	segBufPool.Put(&buf)
 	s.data = nil
 	s.records = 0
+	s.compressed = false
+	s.rawLen = 0
+	s.codec = ""
 }
 
 // NewReader opens the segment for iteration. Compressed segments must be
@@ -209,7 +218,9 @@ func (s *Segment) Verify() error {
 		if err != nil {
 			return err
 		}
-		return d.Verify()
+		err = d.Verify()
+		d.Recycle()
+		return err
 	}
 	if len(s.data) < 4 {
 		return fmt.Errorf("kvbuf: segment of %d bytes cannot hold a checksum trailer", len(s.data))

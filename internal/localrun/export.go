@@ -21,8 +21,14 @@ import (
 // map task it has committed.
 type ShuffleServer = shuffleServer
 
-// NewShuffleServer starts a map-output server on an ephemeral loopback port.
-func NewShuffleServer() (*ShuffleServer, error) { return newShuffleServer() }
+// NewShuffleServer starts a map-output server on an ephemeral loopback port
+// with the in-memory segment store (writev serving).
+func NewShuffleServer() (*ShuffleServer, error) { return newShuffleServer(false) }
+
+// NewDiskShuffleServer starts a map-output server whose segments land in a
+// spill file and are served zero-copy via sendfile where the platform
+// allows (see sendSegmentFile).
+func NewDiskShuffleServer() (*ShuffleServer, error) { return newShuffleServer(true) }
 
 // Unregister withdraws every partition registered for mapIdx — the losing
 // side of a speculative race discards its output so reducers can only ever
@@ -34,6 +40,16 @@ func (s *shuffleServer) Unregister(mapIdx int) {
 		if k[0] == mapIdx {
 			delete(s.segments, k)
 		}
+	}
+	if s.disk != nil {
+		d := s.disk
+		d.mu.Lock()
+		for k := range d.segs {
+			if k[0] == mapIdx {
+				delete(d.segs, k)
+			}
+		}
+		d.mu.Unlock()
 	}
 }
 

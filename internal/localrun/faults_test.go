@@ -152,7 +152,7 @@ func TestExhaustedAttemptsFailTheJob(t *testing.T) {
 func TestPermanentlyDownShufflePeerFailsDescriptively(t *testing.T) {
 	// A closed listener: every dial is refused. The fetch must exhaust its
 	// bounded retries and return a descriptive error, not hang.
-	s, err := newShuffleServer()
+	s, err := newShuffleServer(false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestCompressedShuffleSurvivesFaults(t *testing.T) {
 }
 
 func TestRegisterAfterCloseReturnsError(t *testing.T) {
-	s, err := newShuffleServer()
+	s, err := newShuffleServer(false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestRegisterAfterCloseReturnsError(t *testing.T) {
 }
 
 func TestMissingSegmentFailsFastWithoutRetries(t *testing.T) {
-	s, err := newShuffleServer()
+	s, err := newShuffleServer(false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -272,7 +272,7 @@ func registerWordSegment(t *testing.T, s *shuffleServer, mapIdx int, key, val st
 // version bump, re-fetch, invalidate any block merge the stale bytes fed,
 // and emit output containing only the new attempt's records.
 func TestStaleAttemptReFetched(t *testing.T) {
-	s, err := newShuffleServer()
+	s, err := newShuffleServer(false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +352,7 @@ func TestStaleAttemptReFetched(t *testing.T) {
 // TestStreamShuffleAborts: a reducer waiting on announcements that will
 // never come must unblock when the job-level done channel closes.
 func TestStreamShuffleAborts(t *testing.T) {
-	s, err := newShuffleServer()
+	s, err := newShuffleServer(false)
 	if err != nil {
 		t.Fatal(err)
 	}

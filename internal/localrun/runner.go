@@ -32,6 +32,21 @@ type Options struct {
 	// strict barrier schedule.
 	Slowstart float64
 
+	// DiskShuffle stores committed map outputs in a spill file instead of
+	// retained heap buffers, served zero-copy via sendfile where the
+	// platform allows — the real-Hadoop shape (mapred.local.dir +
+	// sendfile-backed shuffle servlet). Off by default: on loopback with
+	// outputs already in memory, writev from the retained buffer is the
+	// faster zero-copy path; DiskShuffle is for memory-bounded serving.
+	DiskShuffle bool
+
+	// Combiner supplies a map-side combiner when the job itself sets none,
+	// Hadoop's job.setCombinerClass: an associative reduce run over sorted
+	// runs at spill time and again at the final per-map merge, cutting
+	// shuffle bytes at the source. The job's own Combiner wins when both
+	// are set.
+	Combiner func() mapreduce.Reducer
+
 	// Faults enables seeded, deterministic fault injection (nil: nothing
 	// injected). The recovery machinery — bounded task re-execution and
 	// shuffle-fetch retry with backoff — is the same code that guards
@@ -97,6 +112,11 @@ func Run(job *mapreduce.Job, opts *Options) (*Result, error) {
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.Combiner != nil && job.Combiner == nil {
+		j := *job
+		j.Combiner = opts.Combiner
+		job = &j
+	}
 	conf := job.Conf
 	numReduces := conf.NumReduces()
 
@@ -135,7 +155,7 @@ func Run(job *mapreduce.Job, opts *Options) (*Result, error) {
 		return nil, err
 	}
 
-	server, err := newShuffleServer()
+	server, err := newShuffleServer(opts.DiskShuffle)
 	if err != nil {
 		return nil, err
 	}
@@ -397,6 +417,7 @@ type mapCollector struct {
 	ctrs       *mapreduce.Counters
 	spills     [][]*kvbuf.Segment
 	enc        *writable.DataOutput
+	codec      kvbuf.Codec // non-nil: spill segments are stored compressed
 
 	// Fault plumbing: aid names the running attempt, plan injects spill
 	// errors, faultCtrs outlives failed attempts.
@@ -465,6 +486,16 @@ func (mc *mapCollector) spill() error {
 			segs[p] = combined
 		}
 	}
+	if mc.codec != nil {
+		// Compress at spill time, as Hadoop does: from here on the segment
+		// is stored, merged (via decompress), and shuffled as compressed
+		// bytes.
+		for p, seg := range segs {
+			z := kvbuf.CompressSegmentWith(seg, mc.codec)
+			seg.Recycle()
+			segs[p] = z
+		}
+	}
 	mc.ctrs.IncrTask(mapreduce.CtrSpilledRecords, int64(records))
 	mc.spills = append(mc.spills, segs)
 	return nil
@@ -486,6 +517,10 @@ func runMapTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, split mapreduce
 		// same records, so recovery cannot change the job's output.
 		part = func() mapreduce.Partitioner { return job.PartitionerForTask(idx) }
 	}
+	codec, ok := kvbuf.CodecByName(job.Conf.CompressCodec())
+	if !ok {
+		return ctrs, fmt.Errorf("localrun: unknown map-output codec %q (have %v)", job.Conf.CompressCodec(), kvbuf.CodecNames())
+	}
 	buf := kvbuf.NewSortBuffer(job.Conf.IOSortMB()<<20, numReduces, cmp)
 	defer buf.Release()
 	if pf, ok := writable.PrefixExtractor(job.MapOutputKeyType); ok {
@@ -499,6 +534,7 @@ func runMapTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, split mapreduce
 		spillPct:   job.Conf.SortSpillPercent(),
 		ctrs:       ctrs,
 		enc:        writable.NewDataOutput(256),
+		codec:      codec,
 		aid:        aid,
 		plan:       plan,
 		faultCtrs:  faultCtrs,
@@ -527,7 +563,13 @@ func runMapTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, split mapreduce
 		// No output at all: publish empty segments so reducers find them.
 		empty := make([]*kvbuf.Segment, numReduces)
 		for p := range empty {
-			empty[p] = kvbuf.NewWriter(8).Close()
+			e := kvbuf.NewWriter(8).Close()
+			if codec != nil {
+				z := kvbuf.CompressSegmentWith(e, codec)
+				e.Recycle()
+				e = z
+			}
+			empty[p] = e
 		}
 		mc.spills = append(mc.spills, empty)
 	}
@@ -542,9 +584,11 @@ func runMapTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, split mapreduce
 	}
 
 	// Merge spills per partition into the final map output (multi-pass with
-	// io.sort.factor fan-in when a task spilled many times), compressing it
-	// when mapreduce.map.output.compress is set.
-	compress := job.Conf.GetBool(mapreduce.ConfCompressMapOut, false)
+	// io.sort.factor fan-in when a task spilled many times). Spill segments
+	// are already combined/compressed per the job conf, so the single-spill
+	// fast path registers them untouched; a multi-spill merge decompresses
+	// the runs, merges, re-combines (the combiner's second chance, as in
+	// Hadoop's merge-side combine), and re-compresses the final output.
 	factor := job.Conf.IOSortFactor()
 	for p := 0; p < numReduces; p++ {
 		if p == abortAt {
@@ -558,26 +602,43 @@ func runMapTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, split mapreduce
 			for s := range mc.spills {
 				parts[s] = mc.spills[s][p]
 			}
+			if codec != nil {
+				raw := make([]*kvbuf.Segment, len(parts))
+				for s, z := range parts {
+					d, err := z.Decompress()
+					if err != nil {
+						return ctrs, fmt.Errorf("localrun: map %d spill %d: %w", idx, s, err)
+					}
+					raw[s] = d
+				}
+				parts = raw
+			}
 			merged, _, err := kvbuf.MergeAll(cmp, parts, factor, 0)
 			if err != nil {
 				return ctrs, fmt.Errorf("localrun: map %d final merge: %w", idx, err)
 			}
-			final = merged
-			// The spill runs' bytes were copied into the merged segment;
-			// recycle their buffers for the next spill or map task.
+			// The runs' bytes were copied into the merged segment; recycle
+			// the decompression scratch and the spill buffers for reuse.
 			for s := range mc.spills {
+				if codec != nil {
+					parts[s].Recycle()
+				}
 				mc.spills[s][p].Recycle()
 			}
-		}
-		if compress {
-			z, err := kvbuf.CompressSegment(final)
-			if err != nil {
-				return ctrs, fmt.Errorf("localrun: map %d compress: %w", idx, err)
+			final = merged
+			if job.Combiner != nil && final.Records() > 0 {
+				combined, err := combineSegment(job, final, ctrs)
+				if err != nil {
+					return ctrs, fmt.Errorf("localrun: map %d merge combine: %w", idx, err)
+				}
+				final.Recycle()
+				final = combined
 			}
-			if len(mc.spills) > 1 {
-				final.Recycle() // scratch merge output, now copied into z
+			if codec != nil {
+				z := kvbuf.CompressSegmentWith(final, codec)
+				final.Recycle()
+				final = z
 			}
-			final = z
 		}
 		if err := server.Register(idx, p, final); err != nil {
 			return ctrs, fmt.Errorf("localrun: %s: %w", aid, err)

@@ -355,7 +355,7 @@ func TestDeterministicOutput(t *testing.T) {
 }
 
 func TestShuffleServerMissingSegment(t *testing.T) {
-	s, err := newShuffleServer()
+	s, err := newShuffleServer(false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -28,25 +29,40 @@ var ErrServerClosed = errors.New("localrun: shuffle server closed")
 //
 // Wire protocol (binary, big-endian): request = uint32 map index, uint32
 // partition; response = 1 status byte (0 = ok) then uint64 payload length
-// and the raw IFile segment bytes. Connections are persistent: a client may
-// pipeline any number of requests on one connection and responses come back
-// in request order, so per-segment dial/teardown never touches the copy
-// phase's critical path.
+// and the segment bytes (raw IFile, or the kvbuf compressed wire format
+// when the job compresses map output). Connections are persistent: a client
+// may pipeline any number of requests on one connection and responses come
+// back in request order, so per-segment dial/teardown never touches the
+// copy phase's critical path.
+//
+// Serving never read-then-writes a segment: in-memory segments leave in a
+// single writev straight from their retained buffer, and with the
+// disk-backed store the payload goes kernel-to-socket via sendfile
+// (sendSegmentFile). ShuffleServeStats accounts both paths.
 type shuffleServer struct {
 	ln net.Listener
 
 	mu       sync.Mutex
 	segments map[[2]int]*kvbuf.Segment
+	disk     *diskStore // non-nil: segments live in a spill file, served zero-copy
 	closed   bool
 	wg       sync.WaitGroup
 }
 
-func newShuffleServer() (*shuffleServer, error) {
+func newShuffleServer(diskBacked bool) (*shuffleServer, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("localrun: shuffle listener: %w", err)
 	}
 	s := &shuffleServer{ln: ln, segments: make(map[[2]int]*kvbuf.Segment)}
+	if diskBacked {
+		d, err := newDiskStore()
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		s.disk = d
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -58,11 +74,16 @@ func (s *shuffleServer) Addr() string { return s.ln.Addr().String() }
 // Register publishes a map task's output for one partition. Re-executed
 // map attempts re-register their partitions; the newest registration wins.
 // Registering on a closed server is an error, never a silent mutation.
+// With the disk-backed store the segment is consumed: its bytes move to the
+// spill file and its buffer is recycled.
 func (s *shuffleServer) Register(mapIdx, partition int, seg *kvbuf.Segment) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("%w: cannot register map %d partition %d", ErrServerClosed, mapIdx, partition)
+	}
+	if s.disk != nil {
+		return s.disk.add(mapIdx, partition, seg)
 	}
 	s.segments[[2]int{mapIdx, partition}] = seg
 	return nil
@@ -92,6 +113,15 @@ func (s *shuffleServer) acceptLoop() {
 }
 
 func (s *shuffleServer) serve(conn net.Conn) {
+	// rf is this connection's private read handle on the disk store's spill
+	// file, opened on first use; a private handle means concurrent
+	// sendfiles never race on a shared file offset.
+	var rf *os.File
+	defer func() {
+		if rf != nil {
+			rf.Close()
+		}
+	}()
 	var req [8]byte
 	for {
 		if _, err := io.ReadFull(conn, req[:]); err != nil {
@@ -99,6 +129,29 @@ func (s *shuffleServer) serve(conn net.Conn) {
 		}
 		mapIdx := int(binary.BigEndian.Uint32(req[:4]))
 		part := int(binary.BigEndian.Uint32(req[4:]))
+		if s.disk != nil {
+			ds, ok := s.disk.lookup(mapIdx, part)
+			if !ok {
+				if _, err := conn.Write([]byte{1}); err != nil {
+					return
+				}
+				continue
+			}
+			if rf == nil {
+				f, err := s.disk.open()
+				if err != nil {
+					return
+				}
+				rf = f
+			}
+			var hdr [9]byte
+			hdr[0] = 0
+			binary.BigEndian.PutUint64(hdr[1:], uint64(ds.n))
+			if err := sendSegmentFile(conn, rf, ds, hdr[:]); err != nil {
+				return
+			}
+			continue
+		}
 		seg, ok := s.lookup(mapIdx, part)
 		if !ok {
 			// A miss answers one request; it must not kill the connection,
@@ -112,12 +165,15 @@ func (s *shuffleServer) serve(conn net.Conn) {
 		hdr[0] = 0
 		binary.BigEndian.PutUint64(hdr[1:], uint64(seg.Len()))
 		// One writev per response: header and payload leave in a single
-		// syscall, so the client's pipelined reads never stall on a
-		// 9-byte header packet.
+		// syscall straight from the retained segment buffer — no read-back
+		// copy — so the client's pipelined reads never stall on a 9-byte
+		// header packet.
 		bufs := net.Buffers{hdr[:], seg.Bytes()}
 		if _, err := bufs.WriteTo(conn); err != nil {
 			return
 		}
+		serveWritevBytes.Add(int64(seg.Len()))
+		serveResponses.Add(1)
 	}
 }
 
@@ -132,6 +188,9 @@ func (s *shuffleServer) Close() {
 	s.mu.Unlock()
 	s.ln.Close()
 	s.wg.Wait()
+	if s.disk != nil {
+		s.disk.close()
+	}
 }
 
 // fetchPipelineDepth bounds how many segment requests a fetcher keeps in
@@ -232,6 +291,32 @@ func (c *shuffleConn) response(checksum bool) ([]byte, error) {
 	return data, nil
 }
 
+// responseCompressed reads the next pipelined response as a compressed
+// segment, inflating it straight off the socket into an exact-size raw
+// segment with the IFile CRC folded over the decompressed bytes as they
+// stream out — the compressed payload is never materialized in memory. A
+// kvbuf.ErrCorruptSegment return means the payload was consumed and the
+// connection is still in sync (retry without reconnecting); other errors
+// are connection-level. wire is the payload's on-the-wire byte count.
+func (c *shuffleConn) responseCompressed() (seg *kvbuf.Segment, wire int64, err error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(c.br, hdr[:1]); err != nil {
+		return nil, 0, fmt.Errorf("localrun: shuffle status: %w", err)
+	}
+	if hdr[0] != 0 {
+		return nil, 0, errSegmentMissing
+	}
+	if _, err := io.ReadFull(c.br, hdr[1:]); err != nil {
+		return nil, 0, fmt.Errorf("localrun: shuffle length: %w", err)
+	}
+	n := int(binary.BigEndian.Uint64(hdr[1:]))
+	seg, err = kvbuf.ReadCompressedSegment(c.br, n)
+	if err != nil {
+		return nil, 0, err
+	}
+	return seg, int64(n), nil
+}
+
 // fetchSegment retrieves one map-output partition over a throwaway
 // connection, verifying the payload's CRC trailer while it streams in. It
 // exists for one-shot callers; the copy phase itself runs segmentFetchers.
@@ -318,15 +403,22 @@ func (f *segmentFetcher) ensureConn() error {
 }
 
 // validate applies the injected truncation fault and, when the shuffle is
-// compressed, inflates and verifies the payload. Uncompressed payloads were
-// already CRC-verified while streaming off the wire, so they are only
-// re-checked when truncation mangled them afterwards.
+// compressed, inflates and verifies the payload. It only runs on buffered
+// payloads — the clean compressed path streams through responseCompressed
+// instead — so truncation can mangle real bytes before the decode, proving
+// the corrupt-stream retry path. Uncompressed payloads were already
+// CRC-verified while streaming off the wire and are only re-checked when
+// truncation mangled them afterwards.
 func (f *segmentFetcher) validate(data []byte, truncate bool, mapIdx int) (*kvbuf.Segment, error) {
 	if truncate && len(data) > 0 {
 		data = data[:len(data)-(1+len(data)/16)]
 	}
 	if f.compressed {
-		s, err := kvbuf.CompressedSegmentFromBytes(data).Decompress()
+		z, err := kvbuf.CompressedSegmentFromBytes(data)
+		if err != nil {
+			return nil, fmt.Errorf("localrun: shuffle map %d -> reduce %d: %w", mapIdx, f.reduce, err)
+		}
+		s, err := z.Decompress()
 		if err != nil {
 			return nil, fmt.Errorf("localrun: shuffle map %d -> reduce %d: %w", mapIdx, f.reduce, err)
 		}
@@ -373,6 +465,23 @@ func (f *segmentFetcher) fetchOne(mapIdx, attempt int) (*kvbuf.Segment, int64, e
 		f.closeConn()
 		return nil, 0, err
 	}
+	truncate := fault == faultinject.FetchTruncate
+	if f.compressed && !truncate {
+		// Clean compressed fetch: inflate streaming off the socket, CRC
+		// fused into the decode, no payload buffer.
+		seg, wire, err := f.conn.responseCompressed()
+		if err != nil {
+			f.st.failures++
+			if errors.Is(err, errSegmentMissing) {
+				return nil, 0, missingSegmentErr(mapIdx, f.reduce)
+			}
+			if !errors.Is(err, kvbuf.ErrCorruptSegment) {
+				f.closeConn() // a half-read response desyncs the stream
+			}
+			return nil, 0, err
+		}
+		return seg, wire, nil
+	}
 	data, err := f.conn.response(!f.compressed)
 	if err != nil {
 		f.st.failures++
@@ -384,7 +493,7 @@ func (f *segmentFetcher) fetchOne(mapIdx, attempt int) (*kvbuf.Segment, int64, e
 		}
 		return nil, 0, err
 	}
-	seg, err := f.validate(data, fault == faultinject.FetchTruncate, mapIdx)
+	seg, err := f.validate(data, truncate, mapIdx)
 	if err != nil {
 		f.st.failures++
 		return nil, 0, err
@@ -458,24 +567,43 @@ func (f *segmentFetcher) run(maps []int, store func(mapIdx int, seg *kvbuf.Segme
 		if len(inflight) == 0 {
 			continue
 		}
-		// Drain the oldest response.
+		// Drain the oldest response. Clean compressed responses inflate
+		// streaming off the socket (CRC fused into the decode); buffered
+		// reads remain for uncompressed payloads and for attempts whose
+		// injected truncation fault needs real bytes to mangle.
 		req := inflight[0]
-		data, err := f.conn.response(!f.compressed)
+		var (
+			data []byte
+			seg  *kvbuf.Segment
+			wire int64
+			err  error
+		)
+		if f.compressed && !req.truncate {
+			seg, wire, err = f.conn.responseCompressed()
+		} else {
+			data, err = f.conn.response(!f.compressed)
+			wire = int64(len(data))
+		}
 		switch {
 		case err == nil:
 			inflight = append(inflight[:0], inflight[1:]...)
-			seg, verr := f.validate(data, req.truncate, req.mapIdx)
-			if verr != nil {
-				fail(req.mapIdx, verr)
-				continue
+			if seg == nil {
+				var verr error
+				seg, verr = f.validate(data, req.truncate, req.mapIdx)
+				if verr != nil {
+					fail(req.mapIdx, verr)
+					continue
+				}
 			}
-			store(req.mapIdx, seg, int64(len(data)))
+			store(req.mapIdx, seg, wire)
 		case errors.Is(err, errSegmentMissing):
 			// The server answered and keeps serving the rest of the
 			// pipeline; only this segment is (permanently) failed.
 			inflight = append(inflight[:0], inflight[1:]...)
 			fail(req.mapIdx, missingSegmentErr(req.mapIdx, f.reduce))
-		case errors.Is(err, errShuffleChecksum):
+		case errors.Is(err, errShuffleChecksum), errors.Is(err, kvbuf.ErrCorruptSegment):
+			// The payload was fully consumed (or drained); the connection
+			// is still in sync and only this segment retries.
 			inflight = append(inflight[:0], inflight[1:]...)
 			fail(req.mapIdx, err)
 		default:

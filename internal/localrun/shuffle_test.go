@@ -16,7 +16,7 @@ import (
 // contract: a miss answers one pipelined request and the connection keeps
 // serving the ones behind it.
 func TestMissingSegmentKeepsConnectionAlive(t *testing.T) {
-	s, err := newShuffleServer()
+	s, err := newShuffleServer(false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestMissingSegmentKeepsConnectionAlive(t *testing.T) {
 // TestFetchAllSegmentsPipelined drives the production copy path: many maps
 // over few persistent connections, every segment verified while streaming.
 func TestFetchAllSegmentsPipelined(t *testing.T) {
-	s, err := newShuffleServer()
+	s, err := newShuffleServer(false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestFetchAllSegmentsPipelined(t *testing.T) {
 // TestFetchAllSegmentsMissingFailsFast: one unregistered map among many
 // must fail permanently (no backoff stalls) while the rest still fetch.
 func TestFetchAllSegmentsMissingFailsFast(t *testing.T) {
-	s, err := newShuffleServer()
+	s, err := newShuffleServer(false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,122 @@
+package localrun
+
+import (
+	"testing"
+
+	"mrmicro/internal/faultinject"
+	"mrmicro/internal/mapreduce"
+)
+
+// runCountsAndStats executes the canonical word-count job with the given
+// options and returns its output counts, result, and the serve counters the
+// run accumulated (process-wide stats are reset first; localrun tests run
+// sequentially within the package, so the window is private to the run).
+func runCountsAndStats(t *testing.T, reduces int, opts *Options, compress bool) (map[string]int64, *Result, ServeStats) {
+	t.Helper()
+	text, _ := corpus()
+	job, out := wordCountJob(text, 4, reduces, false)
+	if compress {
+		job.Conf.SetBool(mapreduce.ConfCompressMapOut, true)
+	}
+	ResetShuffleServeStats()
+	res, err := Run(job, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return collectCounts(t, out, reduces), res, ShuffleServeStats()
+}
+
+// TestDiskShuffleEndToEnd runs the same job through the in-memory (writev)
+// and disk-backed (sendfile) serving paths and checks three things: the
+// output is identical, each run uses only its own zero-copy path, and the
+// bytes each path accounts equal the wire bytes the reducers report — any
+// read-then-write double copy in the server would leave served bytes
+// unaccounted by both counters.
+func TestDiskShuffleEndToEnd(t *testing.T) {
+	memGot, memRes, memStats := runCountsAndStats(t, 3, nil, false)
+	diskGot, diskRes, diskStats := runCountsAndStats(t, 3, &Options{DiskShuffle: true}, false)
+
+	if len(memGot) == 0 {
+		t.Fatal("no output")
+	}
+	for w, n := range memGot {
+		if diskGot[w] != n {
+			t.Errorf("count[%s] = %d with DiskShuffle, want %d", w, diskGot[w], n)
+		}
+	}
+
+	if memStats.WritevBytes <= 0 || memStats.SendfileBytes != 0 {
+		t.Errorf("memory serving stats = %+v, want writev only", memStats)
+	}
+	if diskStats.SendfileBytes <= 0 || diskStats.WritevBytes != 0 {
+		t.Errorf("disk serving stats = %+v, want sendfile only", diskStats)
+	}
+
+	memWire := memRes.Counters.Task(mapreduce.CtrReduceShuffleBytes)
+	if memStats.WritevBytes != memWire {
+		t.Errorf("writev bytes %d != REDUCE_SHUFFLE_BYTES %d", memStats.WritevBytes, memWire)
+	}
+	diskWire := diskRes.Counters.Task(mapreduce.CtrReduceShuffleBytes)
+	if diskStats.SendfileBytes != diskWire {
+		t.Errorf("sendfile bytes %d != REDUCE_SHUFFLE_BYTES %d", diskStats.SendfileBytes, diskWire)
+	}
+
+	wantResponses := memRes.Counters.Task(mapreduce.CtrShuffledMaps)
+	for _, st := range []ServeStats{memStats, diskStats} {
+		if st.Responses != wantResponses {
+			t.Errorf("responses = %d, want SHUFFLED_MAPS = %d", st.Responses, wantResponses)
+		}
+	}
+}
+
+// TestDiskShuffleCompressedEndToEnd layers the codec on the disk store:
+// compressed segments land in the spill file and still leave via sendfile,
+// and the reducers decode the same counts.
+func TestDiskShuffleCompressedEndToEnd(t *testing.T) {
+	plainGot, _, _ := runCountsAndStats(t, 2, nil, false)
+	got, res, stats := runCountsAndStats(t, 2, &Options{DiskShuffle: true}, true)
+	for w, n := range plainGot {
+		if got[w] != n {
+			t.Errorf("count[%s] = %d compressed+disk, want %d", w, got[w], n)
+		}
+	}
+	if stats.SendfileBytes <= 0 || stats.WritevBytes != 0 {
+		t.Errorf("serving stats = %+v, want sendfile only", stats)
+	}
+	wire := res.Counters.Task(mapreduce.CtrReduceShuffleBytes)
+	if stats.SendfileBytes != wire {
+		t.Errorf("sendfile bytes %d != REDUCE_SHUFFLE_BYTES %d", stats.SendfileBytes, wire)
+	}
+}
+
+// benchmarkServePath measures the segment-serving hot path end to end over
+// loopback TCP: one registered map output fetched repeatedly, exercising
+// writev from the retained buffer (memory store) or sendfile from the spill
+// file (disk store).
+func benchmarkServePath(b *testing.B, disk bool) {
+	srv, err := newShuffleServer(disk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	seg := benchSegment(6000, 1) // ~256 KiB of TeraSort-shaped records
+	payload := int64(seg.Len())
+	if err := srv.Register(0, 0, seg); err != nil {
+		b.Fatal(err) // disk store consumes seg; don't touch it past here
+	}
+
+	b.ReportAllocs()
+	b.SetBytes(payload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, _, _, err := FetchMapOutput(srv.Addr(), 0, 0, false, nil, faultinject.Backoff{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		got.Recycle()
+	}
+}
+
+func BenchmarkShuffleServeMemoryWritev(b *testing.B) { benchmarkServePath(b, false) }
+func BenchmarkShuffleServeDiskSendfile(b *testing.B) { benchmarkServePath(b, true) }

@@ -41,6 +41,7 @@ const (
 	ConfSpeculative        = "mapreduce.map.speculative"
 	ConfCombineClass       = "mapreduce.job.combine.class"
 	ConfCompressMapOut     = "mapreduce.map.output.compress"
+	ConfCompressCodec      = "mapreduce.map.output.compress.codec"
 	ConfCompressRatio      = "mapreduce.map.output.compress.ratio" // sim-only: modelled output/input ratio
 	ConfJobName            = "mapreduce.job.name"
 )
@@ -157,3 +158,13 @@ func (c *Conf) ParallelCopies() int { return c.GetInt(ConfParallelCopies, 5) }
 // SlowstartMaps returns the completed-map fraction before reducers launch
 // (default 0.05).
 func (c *Conf) SlowstartMaps() float64 { return c.GetFloat(ConfSlowstartMaps, 0.05) }
+
+// CompressCodec returns the map-output codec name, or "" when
+// mapreduce.map.output.compress is off. When compression is on and no codec
+// is named, the default is deflate.
+func (c *Conf) CompressCodec() string {
+	if !c.GetBool(ConfCompressMapOut, false) {
+		return ""
+	}
+	return c.Get(ConfCompressCodec, "deflate")
+}

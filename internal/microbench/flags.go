@@ -35,6 +35,8 @@ type Flags struct {
 	rdma     bool
 	copies   int
 	slow     float64
+	codec    string
+	combine  bool
 	conf     cliutil.KVFlag
 
 	faultSeed         int64
@@ -73,6 +75,8 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.rdma, "rdma", false, "use the RDMA-enhanced shuffle (MRoIB case study)")
 	fs.IntVar(&f.copies, "parallelcopies", 0, "concurrent shuffle fetch connections per reduce task (default 5, Hadoop's mapreduce.reduce.shuffle.parallelcopies)")
 	fs.Float64Var(&f.slow, "slowstart", 0, "completed-map fraction before reducers launch, for both the sim and the real executor (default 0.05, Hadoop's mapreduce.job.reduce.slowstart.completedmaps; 1.0 = strict barrier)")
+	fs.StringVar(&f.codec, "codec", "", "map-output compression codec: none (default) or deflate (Hadoop's mapreduce.map.output.compress.codec)")
+	fs.BoolVar(&f.combine, "combine", false, "run the first-value combiner at spill and merge (map-side aggregation)")
 	fs.Var(&f.conf, "conf", "raw Hadoop conf override key=value (repeatable, e.g. -conf mapreduce.task.io.sort.mb=1)")
 
 	fs.Int64Var(&f.faultSeed, "fault-seed", 0, "seed for injected faults (default: -seed)")
@@ -109,6 +113,8 @@ func (f *Flags) Config() (Config, error) {
 		RDMAShuffle:    f.rdma,
 		ParallelCopies: f.copies,
 		Slowstart:      f.slow,
+		Codec:          f.codec,
+		Combine:        f.combine,
 		ExtraConf:      f.conf.Map(),
 	}
 	if f.faultMap > 0 || f.faultReduce > 0 || f.faultDrop > 0 || f.faultTrunc > 0 ||
@@ -179,6 +185,12 @@ func (c Config) ReproFlags() []string {
 		"-seed", strconv.FormatInt(c.Seed, 10),
 		"-slowstart", formatFloat(c.Slowstart),
 		"-parallelcopies", strconv.Itoa(c.ParallelCopies),
+	}
+	if c.Codec != "" && c.Codec != "none" {
+		args = append(args, "-codec", c.Codec)
+	}
+	if c.Combine {
+		args = append(args, "-combine")
 	}
 	if c.RDMAShuffle {
 		args = append(args, "-rdma")

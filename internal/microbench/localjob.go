@@ -28,6 +28,12 @@ func BuildJob(cfg Config) (*mapreduce.Job, error) {
 			}
 		},
 		Reducer: func() mapreduce.Reducer { return DiscardReducer{} },
+		Combiner: func() func() mapreduce.Reducer {
+			if !cfg.Combine {
+				return nil
+			}
+			return func() mapreduce.Reducer { return FirstValueCombiner{} }
+		}(),
 		PartitionerForTask: func(mapTask int) mapreduce.Partitioner {
 			p, err := NewPartitioner(cfg.Pattern, cfg.PairsPerMap, cfg.Seed+int64(mapTask)*7919)
 			if err != nil {

@@ -119,6 +119,33 @@ func textPayload(n, idx int) []byte {
 	return b
 }
 
+// FirstValueCombiner is the suite's map-side combiner: it keeps the first
+// value of each key group and drops the rest. Because GenMapper values are
+// constant filler per data type, every value in a group is byte-identical
+// and keeping one is lossless — combining collapses a group's multiplicity
+// to 1, which is the maximum byte reduction a combiner can legally achieve
+// here and exactly what the sim engines model from distinct-key counts.
+type FirstValueCombiner struct{}
+
+// Reduce emits the group's first value and drains the rest.
+func (FirstValueCombiner) Reduce(key writable.Writable, values mapreduce.ValueIterator, out mapreduce.Collector, _ mapreduce.Reporter) error {
+	v, ok := values.Next()
+	if !ok {
+		return nil
+	}
+	if err := out.Collect(key, v); err != nil {
+		return err
+	}
+	for {
+		if _, ok := values.Next(); !ok {
+			return nil
+		}
+	}
+}
+
+// Close is a no-op.
+func (FirstValueCombiner) Close(mapreduce.Collector, mapreduce.Reporter) error { return nil }
+
 // DiscardReducer iterates and discards every value, the reduce side of all
 // three micro-benchmarks (paired with mapreduce.NullOutput).
 type DiscardReducer struct{}

@@ -37,8 +37,12 @@ func BuildSpec(cfg Config) (*mrsim.JobSpec, error) {
 	}
 
 	parts := make([][]mrsim.SegSpec, cfg.NumMaps)
+	var postCombine [][]mrsim.SegSpec
+	if cfg.Combine {
+		postCombine = make([][]mrsim.SegSpec, cfg.NumMaps)
+	}
 	for m := 0; m < cfg.NumMaps; m++ {
-		counts, err := partitionCounts(cfg, m)
+		counts, distinct, err := partitionCounts(cfg, m)
 		if err != nil {
 			return nil, err
 		}
@@ -47,6 +51,13 @@ func BuildSpec(cfg Config) (*mrsim.JobSpec, error) {
 			row[r] = mrsim.SegSpec{Records: n, Bytes: n * int64(pairLen)}
 		}
 		parts[m] = row
+		if cfg.Combine {
+			crow := make([]mrsim.SegSpec, cfg.NumReduces)
+			for r, n := range distinct {
+				crow[r] = mrsim.SegSpec{Records: n, Bytes: n * int64(pairLen)}
+			}
+			postCombine[m] = crow
+		}
 	}
 
 	typeFactor := 1.0
@@ -60,6 +71,7 @@ func BuildSpec(cfg Config) (*mrsim.JobSpec, error) {
 		Name:              cfg.Label(),
 		Conf:              cfg.HadoopConf(),
 		Partitions:        parts,
+		PostCombine:       postCombine,
 		TypeFactor:        typeFactor,
 		MapOutputRawBytes: int64(cfg.NumMaps) * cfg.PairsPerMap * int64(rawPairLen),
 	}
@@ -70,13 +82,16 @@ func BuildSpec(cfg Config) (*mrsim.JobSpec, error) {
 }
 
 // partitionCounts tallies map m's per-reducer record counts using the real
-// partitioner.
-func partitionCounts(cfg Config, mapIdx int) ([]int64, error) {
+// partitioner. distinct[r] is the number of distinct key indices landing in
+// partition r — the record count the map-side combiner collapses the
+// partition to, since GenMapper's key for draw i is i % NumReduces and the
+// combiner keeps exactly one record per key group.
+func partitionCounts(cfg Config, mapIdx int) (counts, distinct []int64, err error) {
 	part, err := NewPartitioner(cfg.Pattern, cfg.PairsPerMap, cfg.Seed+int64(mapIdx)*7919)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	counts := make([]int64, cfg.NumReduces)
+	counts = make([]int64, cfg.NumReduces)
 
 	draws := cfg.PairsPerMap
 	scale := int64(1)
@@ -87,12 +102,30 @@ func partitionCounts(cfg Config, mapIdx int) ([]int64, error) {
 		scale = (draws + maxExactDraws - 1) / maxExactDraws
 		draws = draws / scale
 	}
+	uniq := cfg.NumReduces
+	if uniq < 1 {
+		uniq = 1
+	}
+	var seen [][]bool
+	if cfg.Combine {
+		distinct = make([]int64, cfg.NumReduces)
+		seen = make([][]bool, cfg.NumReduces)
+		for r := range seen {
+			seen[r] = make([]bool, uniq)
+		}
+	}
 	for i := int64(0); i < draws; i++ {
 		p := part.Partition(nil, nil, cfg.NumReduces)
 		if p < 0 || p >= cfg.NumReduces {
-			return nil, fmt.Errorf("microbench: partitioner %s returned %d for %d reduces", cfg.Pattern, p, cfg.NumReduces)
+			return nil, nil, fmt.Errorf("microbench: partitioner %s returned %d for %d reduces", cfg.Pattern, p, cfg.NumReduces)
 		}
 		counts[p]++
+		if seen != nil {
+			if k := int(i % int64(uniq)); !seen[p][k] {
+				seen[p][k] = true
+				distinct[p]++
+			}
+		}
 	}
 	if scale > 1 {
 		var total int64
@@ -112,5 +145,5 @@ func partitionCounts(cfg Config, mapIdx int) ([]int64, error) {
 			counts[min] += rem
 		}
 	}
-	return counts, nil
+	return counts, distinct, nil
 }

@@ -67,6 +67,11 @@ func Generate(seed int64, i int, opts GenOptions) microbench.Config {
 		// Exercise the scheduler knobs the conformance contract spans.
 		Slowstart:      pickFloat(rng, 0.05, 0.25, 0.5, 1.0),
 		ParallelCopies: rng.Intn(5), // 0 = Hadoop default
+		// Data-plane knobs: compressed shuffle and the first-value combiner
+		// each ride along on about a third of the configs, exercising the
+		// codec-identity and combine-identity twins.
+		Codec:   pickOne(rng, "", "", "deflate"),
+		Combine: rng.Intn(3) == 0,
 	}
 
 	// Occasionally force tiny sort buffers / merge fan-in so multi-spill and

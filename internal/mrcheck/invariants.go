@@ -15,6 +15,7 @@ import (
 	"mrmicro/internal/localrun"
 	"mrmicro/internal/mapreduce"
 	"mrmicro/internal/microbench"
+	"mrmicro/internal/mrsim"
 	"mrmicro/internal/writable"
 )
 
@@ -85,7 +86,7 @@ func CheckConfig(cfg microbench.Config, opts CheckOptions) error {
 			cfg.PairsPerMap, microbench.MaxExactSpecDraws)
 	}
 
-	oracle := oracleMatrix(cfg)
+	oracle, oracleDistinct := oracleMatrix(cfg)
 	total := cfg.PairsPerMap * int64(cfg.NumMaps)
 	pairLen, err := microbench.SerializedPairLen(cfg.DataType, cfg.KeySize, cfg.ValueSize)
 	if err != nil {
@@ -118,34 +119,131 @@ func CheckConfig(cfg microbench.Config, opts CheckOptions) error {
 		}
 	}
 
+	// Invariant: with a combiner, the spec's post-combine matrix equals the
+	// independent distinct-key oracle. What the reducers actually receive is
+	// derived from it below.
+	postTotal := total
+	specShuffleBytes := specBytes
+	perReduceWant := make([]int64, cfg.NumReduces)
+	for r := 0; r < cfg.NumReduces; r++ {
+		for m := range oracle {
+			perReduceWant[r] += oracle[m][r]
+		}
+	}
+	if cfg.Combine {
+		if spec.PostCombine == nil {
+			return &Failure{cfg, "combine-spec", "Combine is set but BuildSpec produced no PostCombine matrix"}
+		}
+		postTotal, specShuffleBytes = 0, 0
+		for r := range perReduceWant {
+			perReduceWant[r] = 0
+		}
+		for m := range oracleDistinct {
+			for r, want := range oracleDistinct[m] {
+				seg := spec.PostCombine[m][r]
+				if seg.Records != want {
+					return &Failure{cfg, "combine-oracle/spec", fmt.Sprintf(
+						"map %d -> reduce %d: post-combine spec has %d records, distinct-key oracle says %d", m, r, seg.Records, want)}
+				}
+				if seg.Bytes != want*int64(pairLen) {
+					return &Failure{cfg, "combine-spec-bytes", fmt.Sprintf(
+						"map %d -> reduce %d: %d post-combine bytes for %d records of %dB", m, r, seg.Bytes, want, pairLen)}
+				}
+				postTotal += want
+				specShuffleBytes += seg.Bytes
+				perReduceWant[r] += want
+			}
+		}
+	} else if spec.PostCombine != nil {
+		return &Failure{cfg, "combine-spec", "Combine is off but BuildSpec produced a PostCombine matrix"}
+	}
+
 	// Real executor, clean (faults stripped): the reference run.
 	clean, err := runLocal(cfg, false, opts.MutateJob)
 	if err != nil {
 		return err
 	}
 	for r := 0; r < cfg.NumReduces; r++ {
-		var want int64
-		for m := range oracle {
-			want += oracle[m][r]
-		}
-		if got := clean.perReduce[r]; got != want {
+		if got, want := clean.perReduce[r], perReduceWant[r]; got != want {
 			return &Failure{cfg, "partition-oracle/localrun", fmt.Sprintf(
 				"reduce %d received %d records, %s oracle says %d", r, got, cfg.Pattern, want)}
 		}
 	}
-	for _, iv := range []struct {
+	counterChecks := []struct {
 		name string
 		ctr  string
 		want int64
 	}{
 		{"counter/map-output-records", mapreduce.CtrMapOutputRecords, total},
-		{"counter/reduce-input-records", mapreduce.CtrReduceInputRecords, total},
+		{"counter/reduce-input-records", mapreduce.CtrReduceInputRecords, postTotal},
 		{"counter/map-output-bytes", mapreduce.CtrMapOutputBytes, total * int64(rawPairLen)},
 		{"counter/shuffled-maps", mapreduce.CtrShuffledMaps, segments},
-		{"counter/shuffle-bytes", mapreduce.CtrReduceShuffleBytes, specBytes + segments*segOverhead},
-	} {
+	}
+	if cfg.Codec == "" {
+		// With a codec the wire carries compressed payloads whose size the
+		// byte formula cannot predict; the codec-identity twin below pins the
+		// semantics instead.
+		counterChecks = append(counterChecks, struct {
+			name string
+			ctr  string
+			want int64
+		}{"counter/shuffle-bytes", mapreduce.CtrReduceShuffleBytes, specShuffleBytes + segments*segOverhead})
+	}
+	for _, iv := range counterChecks {
 		if got := clean.counters.Task(iv.ctr); got != iv.want {
 			return &Failure{cfg, iv.name, fmt.Sprintf("localrun %s=%d, want %d", iv.ctr, got, iv.want)}
+		}
+	}
+
+	// Invariant: end-to-end compression is invisible in the results — the
+	// codec-off twin must produce a byte-identical output digest and the same
+	// task counters except REDUCE_SHUFFLE_BYTES (the only thing a codec may
+	// change is what crosses the wire).
+	if cfg.Codec != "" {
+		ucfg := cfg
+		ucfg.Codec = ""
+		plain, err := runLocal(ucfg, false, opts.MutateJob)
+		if err != nil {
+			return err
+		}
+		if plain.digest != clean.digest {
+			return &Failure{cfg, "codec-identity/output", fmt.Sprintf(
+				"reduce output with codec %s is not byte-identical to the uncompressed run", cfg.Codec)}
+		}
+		for _, ctr := range taskIdentityCounters {
+			if ctr == mapreduce.CtrReduceShuffleBytes {
+				continue
+			}
+			if got, want := clean.counters.Task(ctr), plain.counters.Task(ctr); got != want {
+				return &Failure{cfg, "codec-identity/counters", fmt.Sprintf(
+					"task counter %s=%d with codec %s, %d uncompressed", ctr, got, cfg.Codec, want)}
+			}
+		}
+	}
+
+	// Invariant: the first-value combiner only collapses multiplicity — a
+	// combiner-off twin seen through a multiplicity-insensitive reducer
+	// (distinct values per key group) must produce a byte-identical digest,
+	// and the map side must be untouched.
+	if cfg.Combine {
+		combined, err := runLocalWith(cfg, false, opts.MutateJob, distinctReducer)
+		if err != nil {
+			return err
+		}
+		ncfg := cfg
+		ncfg.Combine = false
+		uncombined, err := runLocalWith(ncfg, false, opts.MutateJob, distinctReducer)
+		if err != nil {
+			return err
+		}
+		if combined.digest != uncombined.digest {
+			return &Failure{cfg, "combine-identity/output", "distinct-value reduce output differs between combiner on and off"}
+		}
+		for _, ctr := range []string{mapreduce.CtrMapOutputRecords, mapreduce.CtrMapOutputBytes} {
+			if got, want := combined.counters.Task(ctr), uncombined.counters.Task(ctr); got != want {
+				return &Failure{cfg, "combine-identity/counters", fmt.Sprintf(
+					"task counter %s=%d with combiner, %d without — combining must not change map output accounting", ctr, got, want)}
+			}
 		}
 	}
 
@@ -203,7 +301,10 @@ func CheckConfig(cfg microbench.Config, opts CheckOptions) error {
 	}
 
 	// Simulated engines: counter identity with the real executor, clean and
-	// under the same fault plan.
+	// under the same fault plan. The sim's wire bytes are exactly predictable
+	// from the (post-combine) matrix and the modelled compression ratio, so
+	// they are checked to the byte even with codec and combiner on.
+	simWire := simWireBytes(cfg, spec)
 	for _, engine := range opts.engines() {
 		if engine == microbench.EngineDist {
 			continue // the real runtime, checked by checkDist above
@@ -222,18 +323,18 @@ func CheckConfig(cfg microbench.Config, opts CheckOptions) error {
 			want int64
 		}{
 			{"cross-engine/map-output-records", mapreduce.CtrMapOutputRecords, total},
-			{"cross-engine/reduce-input-records", mapreduce.CtrReduceInputRecords, total},
+			{"cross-engine/reduce-input-records", mapreduce.CtrReduceInputRecords, postTotal},
 			{"cross-engine/map-output-bytes", mapreduce.CtrMapOutputBytes, clean.counters.Task(mapreduce.CtrMapOutputBytes)},
 			{"cross-engine/shuffled-maps", mapreduce.CtrShuffledMaps, segments},
-			{"cross-engine/shuffle-bytes", mapreduce.CtrReduceShuffleBytes, specBytes},
+			{"cross-engine/shuffle-bytes", mapreduce.CtrReduceShuffleBytes, simWire},
 		} {
 			if got := c.Task(iv.ctr); got != iv.want {
 				return &Failure{cfg, iv.name, fmt.Sprintf("%s %s=%d, want %d", engine, iv.ctr, got, iv.want)}
 			}
 		}
-		if res.ShuffleBytes != specBytes {
+		if res.ShuffleBytes != simWire {
 			return &Failure{cfg, "cross-engine/shuffle-bytes", fmt.Sprintf(
-				"%s moved %d shuffle bytes, spec says %d", engine, res.ShuffleBytes, specBytes)}
+				"%s moved %d shuffle bytes, spec says %d", engine, res.ShuffleBytes, simWire)}
 		}
 
 		if cfg.Faults != nil {
@@ -252,13 +353,38 @@ func CheckConfig(cfg microbench.Config, opts CheckOptions) error {
 				}
 			}
 			// Refetches may re-move bytes, never lose them.
-			if got := fc.Task(mapreduce.CtrReduceShuffleBytes); got < specBytes {
+			if got := fc.Task(mapreduce.CtrReduceShuffleBytes); got < simWire {
 				return &Failure{cfg, "recovery/sim-shuffle-bytes", fmt.Sprintf(
-					"%s moved %d shuffle bytes under faults, below the spec's %d", engine, got, specBytes)}
+					"%s moved %d shuffle bytes under faults, below the spec's %d", engine, got, simWire)}
 			}
 		}
 	}
 	return nil
+}
+
+// simWireBytes predicts the simulated engines' REDUCE_SHUFFLE_BYTES for a
+// clean run: per shuffled segment, the post-combine bytes scaled by the
+// modelled compression ratio (mirroring JobState.WireFactor), truncated per
+// segment exactly as the stock fetch path truncates. The eager RDMA shuffle
+// moves raw (uncompressed-model) bytes.
+func simWireBytes(cfg microbench.Config, spec *mrsim.JobSpec) int64 {
+	wf := 1.0
+	if !cfg.RDMAShuffle && spec.Conf.GetBool(mapreduce.ConfCompressMapOut, false) {
+		r := spec.Conf.GetFloat(mapreduce.ConfCompressRatio, 0.5)
+		if r <= 0 || r > 1 {
+			r = 0.5
+		}
+		wf = r
+	}
+	var wire int64
+	for m := 0; m < spec.NumMaps(); m++ {
+		for r := 0; r < spec.NumReduces(); r++ {
+			if b := spec.ShuffleSeg(m, r).Bytes; b > 0 {
+				wire += int64(float64(b) * wf)
+			}
+		}
+	}
+	return wire
 }
 
 // checkDist runs cfg on the real distributed runtime and holds it to
@@ -331,25 +457,46 @@ var taskIdentityCounters = []string{
 // the pattern definitions alone — round-robin arithmetic for MR-AVG, a
 // replayed java.util.Random stream for MR-RAND, prefix thresholds plus a
 // replayed random tail for MR-SKEW — independent of the partitioner
-// implementations under test.
-func oracleMatrix(cfg microbench.Config) [][]int64 {
-	out := make([][]int64, cfg.NumMaps)
+// implementations under test. distinct[m][r] is the number of distinct key
+// indices (GenMapper's key for draw i is i mod NumReduces) among the draws
+// landing in (m, r): the record count the first-value combiner collapses
+// that segment to.
+func oracleMatrix(cfg microbench.Config) (out, distinct [][]int64) {
+	out = make([][]int64, cfg.NumMaps)
+	distinct = make([][]int64, cfg.NumMaps)
 	p, rr := cfg.PairsPerMap, int64(cfg.NumReduces)
 	for m := range out {
 		counts := make([]int64, cfg.NumReduces)
+		dist := make([]int64, cfg.NumReduces)
+		seen := make([][]bool, cfg.NumReduces)
+		for r := range seen {
+			seen[r] = make([]bool, cfg.NumReduces)
+		}
+		tally := func(i int64, r int32) {
+			counts[r]++
+			if k := int(i % rr); !seen[r][k] {
+				seen[r][k] = true
+				dist[r]++
+			}
+		}
 		seed := cfg.Seed + int64(m)*7919 // the per-map seed both builders use
 		switch cfg.Pattern {
 		case microbench.MRAvg:
+			// Round-robin: draw i lands on reducer i mod rr, which is also
+			// its key index — each non-empty segment holds exactly one key.
 			for r := range counts {
 				counts[r] = p / rr
 				if int64(r) < p%rr {
 					counts[r]++
 				}
+				if counts[r] > 0 {
+					dist[r] = 1
+				}
 			}
 		case microbench.MRRand:
 			rng := javarand.New(seed)
 			for i := int64(0); i < p; i++ {
-				counts[rng.NextIntn(int32(rr))]++
+				tally(i, rng.NextIntn(int32(rr)))
 			}
 		case microbench.MRSkew:
 			n0 := p / 2
@@ -360,19 +507,20 @@ func oracleMatrix(cfg microbench.Config) [][]int64 {
 			for i := int64(0); i < p; i++ {
 				switch {
 				case i < t0:
-					counts[0]++
+					tally(i, 0)
 				case i < t1 && rr > 1:
-					counts[1]++
+					tally(i, 1)
 				case i < t2 && rr > 2:
-					counts[2]++
+					tally(i, 2)
 				default:
-					counts[rng.NextIntn(int32(rr))]++
+					tally(i, rng.NextIntn(int32(rr)))
 				}
 			}
 		}
 		out[m] = counts
+		distinct[m] = dist
 	}
-	return out
+	return out, distinct
 }
 
 // localSummary is one real execution reduced to what invariants compare.
@@ -388,13 +536,19 @@ type localSummary struct {
 // value payloads — so dropped, duplicated, truncated or corrupted records
 // all surface in the digest, at any schedule.
 func runLocal(cfg microbench.Config, withFaults bool, mutate func(*mapreduce.Job)) (*localSummary, error) {
+	return runLocalWith(cfg, withFaults, mutate, checkReducer)
+}
+
+// runLocalWith is runLocal with the digest reducer swapped out (the combine
+// identity twin needs a multiplicity-insensitive one).
+func runLocalWith(cfg microbench.Config, withFaults bool, mutate func(*mapreduce.Job), reducer func() mapreduce.Reducer) (*localSummary, error) {
 	job, err := microbench.BuildJob(cfg)
 	if err != nil {
 		return nil, err
 	}
 	out := &mapreduce.MemoryOutput{}
 	job.Output = out
-	job.Reducer = func() mapreduce.Reducer { return checkReducer() }
+	job.Reducer = func() mapreduce.Reducer { return reducer() }
 	if mutate != nil {
 		mutate(job)
 	}
@@ -444,6 +598,31 @@ func checkReducer() mapreduce.Reducer {
 		}
 		key := &writable.BytesWritable{Data: append([]byte(nil), writableBytes(k)...)}
 		return o.Collect(key, &writable.LongWritable{Value: int64(fold + count*0x9E3779B97F4A7C15)})
+	})
+}
+
+// distinctReducer hashes the set of distinct value payloads per key group —
+// insensitive to how many copies of a value arrive and in what order, which
+// is exactly what a lossless combiner is allowed to change.
+func distinctReducer() mapreduce.Reducer {
+	return mapreduce.ReducerFunc(func(k writable.Writable, vs mapreduce.ValueIterator, o mapreduce.Collector, _ mapreduce.Reporter) error {
+		var fold uint64
+		seen := make(map[uint64]struct{})
+		for {
+			v, ok := vs.Next()
+			if !ok {
+				break
+			}
+			f := fnv.New64a()
+			f.Write(writableBytes(v))
+			h := f.Sum64()
+			if _, dup := seen[h]; !dup {
+				seen[h] = struct{}{}
+				fold += h
+			}
+		}
+		key := &writable.BytesWritable{Data: append([]byte(nil), writableBytes(k)...)}
+		return o.Collect(key, &writable.LongWritable{Value: int64(fold)})
 	})
 }
 

@@ -247,7 +247,7 @@ func TestOracleMatchesSpec(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		oracle := oracleMatrix(cfg)
+		oracle, _ := oracleMatrix(cfg)
 		for m := range oracle {
 			for r := range oracle[m] {
 				if got := spec.Partitions[m][r].Records; got != oracle[m][r] {

@@ -84,6 +84,22 @@ var shrinkTransforms = []func(microbench.Config) (microbench.Config, bool){
 		c.ExtraConf = nil
 		return c, true
 	},
+	// Uncompressed shuffle: removes the codec layer from the repro.
+	func(c microbench.Config) (microbench.Config, bool) {
+		if c.Codec == "" || c.Codec == "none" {
+			return c, false
+		}
+		c.Codec = ""
+		return c, true
+	},
+	// No combiner: removes the spill/merge combine passes from the repro.
+	func(c microbench.Config) (microbench.Config, bool) {
+		if !c.Combine {
+			return c, false
+		}
+		c.Combine = false
+		return c, true
+	},
 	// Barrier schedule: removes the overlap machinery from the repro.
 	func(c microbench.Config) (microbench.Config, bool) {
 		if c.Slowstart == 1.0 {

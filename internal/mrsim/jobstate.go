@@ -130,7 +130,7 @@ func (js *JobState) Finish(now sim.Time) {
 // (Hadoop's job-cleanup deletion of mapred.local.dir data).
 func (js *JobState) CleanupIntermediate() {
 	for m := 0; m < js.Spec.NumMaps(); m++ {
-		js.Cluster.Node(js.MapLoc[m]).Store.Delete(js.Spec.MapBytes(m))
+		js.Cluster.Node(js.MapLoc[m]).Store.Delete(js.Spec.MapShuffleBytes(m))
 	}
 }
 
@@ -146,7 +146,14 @@ func (js *JobState) fillCounters() {
 		mob = spec.TotalShuffleBytes()
 	}
 	c.IncrTask(mapreduce.CtrMapOutputBytes, mob)
-	c.IncrTask(mapreduce.CtrReduceInputRecords, spec.TotalRecords())
+	reduceIn := spec.TotalRecords()
+	if spec.Combining() {
+		reduceIn = 0
+		for r := 0; r < spec.NumReduces(); r++ {
+			reduceIn += spec.ReduceShuffleRecords(r)
+		}
+	}
+	c.IncrTask(mapreduce.CtrReduceInputRecords, reduceIn)
 	c.IncrTask(mapreduce.CtrShuffledMaps, int64(spec.NumMaps()*spec.NumReduces()))
 	c.IncrTask(mapreduce.CtrReduceShuffleBytes, js.Report.ShuffleBytes)
 }

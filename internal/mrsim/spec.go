@@ -42,6 +42,14 @@ type JobSpec struct {
 	// data type (1.0 = BytesWritable; Text pays UTF-8 validation etc.).
 	TypeFactor float64
 
+	// PostCombine[m][r], when non-nil, is what map m actually ships to
+	// reducer r after the map-side combiner collapsed each key group —
+	// produced by counting distinct keys per partition with the same real
+	// partitioner run that fills Partitions. Spill writes, merges and the
+	// shuffle move these records/bytes; Partitions keeps the pre-combine
+	// matrix for MAP_OUTPUT_* accounting. Nil means no combiner.
+	PostCombine [][]SegSpec
+
 	// MapOutputRawBytes is the job's total raw map-output payload (key+value
 	// serialization without IFile record framing). The real executor's
 	// MAP_OUTPUT_BYTES counter is raw bytes while Partitions[][].Bytes is
@@ -79,6 +87,24 @@ func (s *JobSpec) Validate() error {
 		for r, seg := range row {
 			if seg.Records < 0 || seg.Bytes < 0 {
 				return fmt.Errorf("mrsim: job %q: negative segment at [%d][%d]", s.Name, m, r)
+			}
+		}
+	}
+	if s.PostCombine != nil {
+		if len(s.PostCombine) != len(s.Partitions) {
+			return fmt.Errorf("mrsim: job %q: PostCombine has %d rows, want %d", s.Name, len(s.PostCombine), len(s.Partitions))
+		}
+		for m, row := range s.PostCombine {
+			if len(row) != nr {
+				return fmt.Errorf("mrsim: job %q: PostCombine map %d has %d partitions, want %d", s.Name, m, len(row), nr)
+			}
+			for r, seg := range row {
+				if seg.Records < 0 || seg.Bytes < 0 {
+					return fmt.Errorf("mrsim: job %q: negative post-combine segment at [%d][%d]", s.Name, m, r)
+				}
+				if seg.Records > s.Partitions[m][r].Records || seg.Bytes > s.Partitions[m][r].Bytes {
+					return fmt.Errorf("mrsim: job %q: post-combine segment [%d][%d] larger than its input", s.Name, m, r)
+				}
 			}
 		}
 	}
@@ -129,6 +155,56 @@ func (s *JobSpec) ReduceBytes(r int) int64 {
 	var n int64
 	for m := range s.Partitions {
 		n += s.Partitions[m][r].Bytes
+	}
+	return n
+}
+
+// Combining reports whether a map-side combiner collapses the shuffled
+// data (PostCombine matrix present).
+func (s *JobSpec) Combining() bool { return s.PostCombine != nil }
+
+// ShuffleSeg returns the segment map m actually ships to reducer r: the
+// post-combine entry when a combiner runs, else the raw partition.
+func (s *JobSpec) ShuffleSeg(m, r int) SegSpec {
+	if s.PostCombine != nil {
+		return s.PostCombine[m][r]
+	}
+	return s.Partitions[m][r]
+}
+
+// MapShuffleRecords returns map m's output records after any combining.
+func (s *JobSpec) MapShuffleRecords(m int) int64 {
+	var n int64
+	for r := range s.Partitions[m] {
+		n += s.ShuffleSeg(m, r).Records
+	}
+	return n
+}
+
+// MapShuffleBytes returns map m's output bytes after any combining.
+func (s *JobSpec) MapShuffleBytes(m int) int64 {
+	var n int64
+	for r := range s.Partitions[m] {
+		n += s.ShuffleSeg(m, r).Bytes
+	}
+	return n
+}
+
+// ReduceShuffleRecords returns reducer r's input records after any
+// combining — what actually crosses the wire and feeds the reduce merge.
+func (s *JobSpec) ReduceShuffleRecords(r int) int64 {
+	var n int64
+	for m := range s.Partitions {
+		n += s.ShuffleSeg(m, r).Records
+	}
+	return n
+}
+
+// ReduceShuffleBytes returns reducer r's input bytes after any combining.
+func (s *JobSpec) ReduceShuffleBytes(r int) int64 {
+	var n int64
+	for m := range s.Partitions {
+		n += s.ShuffleSeg(m, r).Bytes
 	}
 	return n
 }

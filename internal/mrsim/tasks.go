@@ -43,15 +43,25 @@ func (js *JobState) RunMapTask(p *sim.Proc, node *cluster.Node, idx int, onDone 
 	}
 	node.Compute(p, cpu)
 
-	// Intermediate compression: spills, merges and the shuffle all move
-	// wf*bytes; the codec charges CPU per raw byte.
-	wf := js.WireFactor()
-	if wf < 1 {
-		node.Compute(p, float64(bytes)*m.CompressCPU)
+	// Map-side combine: every collected record is pushed through the
+	// combiner at spill time; what survives is the post-combine matrix.
+	outRecs, outBytes := records, bytes
+	if spec.Combining() {
+		node.Compute(p, float64(records)*m.CombineRecordCPU*spec.TypeFactor)
+		outRecs = spec.MapShuffleRecords(idx)
+		outBytes = spec.MapShuffleBytes(idx)
 	}
 
-	// Sort + spill: the buffer spills each time it reaches
-	// io.sort.mb * spill.percent of serialized output.
+	// Intermediate compression: spills, merges and the shuffle all move
+	// wf*outBytes; the codec charges CPU per raw (post-combine) byte.
+	wf := js.WireFactor()
+	if wf < 1 {
+		node.Compute(p, float64(outBytes)*m.CompressCPU)
+	}
+
+	// Sort + spill: the buffer fills with raw collect output (combining
+	// happens on the way out), so the spill count follows pre-combine bytes
+	// while each spill writes its combined share.
 	spillBytes := int64(float64(int64(spec.Conf.IOSortMB())<<20) * spec.Conf.SortSpillPercent())
 	if spillBytes <= 0 {
 		spillBytes = 1
@@ -60,8 +70,8 @@ func (js *JobState) RunMapTask(p *sim.Proc, node *cluster.Node, idx int, onDone 
 	if numSpills < 1 {
 		numSpills = 1
 	}
-	recsPerSpill := records / int64(numSpills)
-	bytesPerSpill := bytes / int64(numSpills)
+	recsPerSpill := outRecs / int64(numSpills)
+	bytesPerSpill := outBytes / int64(numSpills)
 	eager := spec.Shuffle != nil && spec.Shuffle.EagerSpills()
 	// With speculation, only one attempt may feed the spill stream.
 	publisher := eager && !js.spillClaimed(idx)
@@ -96,13 +106,17 @@ func (js *JobState) RunMapTask(p *sim.Proc, node *cluster.Node, idx int, onDone 
 			remaining = remaining - take + 1
 		}
 		// Final pass writes the single output file and removes the spills.
-		wireAll := int64(float64(bytes) * wf)
+		wireAll := int64(float64(outBytes) * wf)
 		node.Store.Read(p, wireAll)
 		codec := 0.0
 		if wf < 1 {
-			codec = float64(bytes) * (m.DecompressCPU + m.CompressCPU)
+			codec = float64(outBytes) * (m.DecompressCPU + m.CompressCPU)
 		}
-		node.Compute(p, m.MergeCPU(records, remaining)+float64(bytes)*m.MergeByteCPU+codec)
+		if spec.Combining() {
+			// The merge-side combine pass touches every surviving record.
+			node.Compute(p, float64(outRecs)*m.CombineRecordCPU*spec.TypeFactor)
+		}
+		node.Compute(p, m.MergeCPU(outRecs, remaining)+float64(outBytes)*m.MergeByteCPU+codec)
 		node.Store.Write(p, wireAll)
 		node.Store.Delete(wireAll)
 	}
@@ -200,9 +214,10 @@ func (js *JobState) RunReduceTask(p *sim.Proc, node *cluster.Node, idx int, onDo
 	shuffleDone := p.Now()
 
 	// Final merge: stream the on-disk runs and the in-memory tail through
-	// the reduce-side merger.
-	totalRecs := spec.ReduceRecords(idx)
-	totalBytes := spec.ReduceBytes(idx)
+	// the reduce-side merger. With a combiner, only the post-combine
+	// records/bytes ever reach this side.
+	totalRecs := spec.ReduceShuffleRecords(idx)
+	totalBytes := spec.ReduceShuffleBytes(idx)
 	if res.OnDiskBytes > 0 {
 		node.Store.Read(p, res.OnDiskBytes)
 		node.Store.Delete(res.OnDiskBytes)
@@ -296,7 +311,7 @@ func claimNext(p *sim.Proc, js *JobState, cursor *int) (int, bool) {
 
 func fetchOne(p *sim.Proc, js *JobState, node *cluster.Node, idx, mi int, threshold int64, st *stockState) {
 	m := js.Model
-	seg := js.Spec.Partitions[mi][idx]
+	seg := js.Spec.ShuffleSeg(mi, idx)
 	if seg.Bytes > 0 {
 		wf := js.WireFactor()
 		wire := int64(float64(seg.Bytes) * wf)

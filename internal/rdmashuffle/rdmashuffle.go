@@ -69,7 +69,7 @@ func (pl Plugin) RunShuffle(p *sim.Proc, js *mrsim.JobState, node *cluster.Node,
 				if !ok {
 					return
 				}
-				seg := js.Spec.Partitions[ev.Map][idx]
+				seg := js.Spec.ShuffleSeg(ev.Map, idx)
 				bytes := mrsim.ChunkOf(seg.Bytes, ev.Index, ev.Of)
 				recs := mrsim.ChunkOf(seg.Records, ev.Index, ev.Of)
 				if bytes > 0 {
