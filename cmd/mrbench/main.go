@@ -101,9 +101,11 @@ func localOnce(cfg microbench.Config, disk bool) (*localrun.Result, time.Duratio
 	}
 	start := time.Now()
 	res, err := localrun.Run(job, &localrun.Options{
-		Faults:         cfg.Faults,
-		ParallelCopies: cfg.ParallelCopies,
-		DiskShuffle:    disk,
+		Faults:           cfg.Faults,
+		ParallelCopies:   cfg.ParallelCopies,
+		DiskShuffle:      disk,
+		ShuffleMemBudget: cfg.ShuffleMemBudget,
+		MergeFactor:      cfg.MergeFactor,
 	})
 	if err != nil {
 		fatal(err)
@@ -146,6 +148,13 @@ func runLocal(cfg microbench.Config, disk bool, benchPath string, reps int) {
 	fmt.Printf("  map phase         %v (to last map commit)\n", res.MapPhase.Round(time.Millisecond))
 	fmt.Printf("  shuffle overlap   %v (reducers running under map waves)\n", res.OverlapWindow.Round(time.Millisecond))
 	fmt.Printf("  reduce tail       %v (after last map commit)\n", res.ReduceTail.Round(time.Millisecond))
+	if rm := res.ReduceMerge; rm.DiskRuns > 0 || cfg.ShuffleMemBudget > 0 {
+		fmt.Printf("reduce-side merge (budget %d bytes):\n", cfg.ShuffleMemBudget)
+		fmt.Printf("  fetch wait        %v (copiers blocked on pool admission)\n", rm.FetchWait.Round(time.Millisecond))
+		fmt.Printf("  in-memory merges  %v feeding %d disk runs (%d records, %d bytes)\n", rm.MemMerge.Round(time.Millisecond), rm.DiskRuns, rm.SpilledRecords, rm.SpilledBytes)
+		fmt.Printf("  disk passes       %v across %d intermediate waves\n", rm.DiskPass.Round(time.Millisecond), rm.DiskPasses)
+		fmt.Printf("  final merge       %v (merge + reduce pass)\n", rm.FinalMerge.Round(time.Millisecond))
+	}
 	fmt.Printf("counters:\n%s", res.Counters)
 	if cfg.Faults != nil {
 		fmt.Print(metrics.RenderKV("injected faults survived:", faultKVs(res.Counters)))
@@ -162,11 +171,12 @@ func runLocal(cfg microbench.Config, disk bool, benchPath string, reps int) {
 // snapshots of it (BENCH_localrun.json) record the real executor's measured
 // throughput so changes to the hot paths leave a reviewable trajectory.
 type benchReport struct {
-	Schema  string       `json:"schema"`
-	Command string       `json:"command"`
-	Config  benchConfig  `json:"config"`
-	Results benchResults `json:"results"`
-	Codec   benchCodec   `json:"codec"`
+	Schema      string           `json:"schema"`
+	Command     string           `json:"command"`
+	Config      benchConfig      `json:"config"`
+	Results     benchResults     `json:"results"`
+	ReduceMerge benchReduceMerge `json:"reduce_merge"`
+	Codec       benchCodec       `json:"codec"`
 }
 
 type benchConfig struct {
@@ -182,6 +192,8 @@ type benchConfig struct {
 	Codec          string  `json:"codec"`
 	Combine        bool    `json:"combine"`
 	DiskShuffle    bool    `json:"diskshuffle"`
+	ShuffleMem     int64   `json:"shuffle_mem_budget"` // 0: unbounded pool
+	MergeFactor    int     `json:"merge_factor"`       // 0: io.sort.factor default
 	Reps           int     `json:"reps"`
 }
 
@@ -201,6 +213,27 @@ type benchResults struct {
 	ShuffleMBPerSec  float64 `json:"shuffle_mb_per_sec"`
 	SpilledRecords   int64   `json:"spilled_records"`
 	ReduceOutRecs    int64   `json:"reduce_output_records"`
+}
+
+// benchReduceMerge is the v4 reduce-phase breakdown: where the memory-bounded
+// merge pipeline spent the reduce side of the job (last repetition of the main
+// configuration), plus a bounded re-run of the same job at a deliberately tiny
+// budget so the larger-than-RAM path's cost — or its parity — is recorded
+// alongside the unbounded baseline.
+type benchReduceMerge struct {
+	FetchWaitMS    float64 `json:"fetch_wait_ms"`      // copiers blocked on pool admission
+	MemMergeMS     float64 `json:"in_memory_merge_ms"` // pool merges feeding spills
+	DiskPassMS     float64 `json:"disk_pass_ms"`       // spill writes + intermediate waves
+	FinalMergeMS   float64 `json:"final_merge_ms"`     // final merge + reduce pass
+	DiskRuns       int64   `json:"disk_runs"`
+	DiskPasses     int64   `json:"disk_passes"`
+	SpilledRecords int64   `json:"spilled_records"`
+	SpilledBytes   int64   `json:"spilled_bytes"`
+
+	BoundedBudget        int64   `json:"bounded_budget_bytes"` // tiny-budget comparison run
+	BoundedWallMS        float64 `json:"bounded_wall_ms"`      // median at that budget
+	BoundedTailMS        float64 `json:"bounded_reduce_tail_ms"`
+	TailRatioVsUnbounded float64 `json:"bounded_tail_ratio"` // bounded tail / unbounded tail
 }
 
 // benchCodec compares the same configuration with spill-time compression off
@@ -268,6 +301,14 @@ func writeBenchJSON(path string, cfg microbench.Config, disk bool, reps int) err
 	barrierCfg.Slowstart = 1.0
 	barrier, _ := measure(barrierCfg)
 
+	// Bounded comparison: the same job forced through the memory-bounded
+	// merge pipeline at a budget far below its shuffle volume, so the
+	// breakdown records what multi-pass disk merging costs here (64KB keeps
+	// small bench configs spilling without being one-segment degenerate).
+	boundedCfg := cfg
+	boundedCfg.ShuffleMemBudget = 64 << 10
+	bounded, _ := measure(boundedCfg)
+
 	// Codec on/off comparison at the same configuration, same process: the
 	// main results above keep cfg's own codec setting; this pair isolates
 	// what spill-time compression costs (or buys) end to end.
@@ -300,8 +341,18 @@ func writeBenchJSON(path string, cfg microbench.Config, disk bool, reps int) err
 	if disk {
 		extras += " -diskshuffle"
 	}
+	if cfg.ShuffleMemBudget > 0 {
+		extras += fmt.Sprintf(" -shufflemem %d", cfg.ShuffleMemBudget)
+	}
+	if cfg.MergeFactor > 0 {
+		extras += fmt.Sprintf(" -mergefactor %d", cfg.MergeFactor)
+	}
+	boundedWall := median(pluck(bounded, func(s sample) float64 { return s.wall }))
+	boundedTail := median(pluck(bounded, func(s sample) float64 { return s.tail }))
+	tail := median(pluck(overlapped, func(s sample) float64 { return s.tail }))
+	rm := res.ReduceMerge
 	rep := benchReport{
-		Schema: "mrmicro-localrun-bench/v3",
+		Schema: "mrmicro-localrun-bench/v4",
 		Command: fmt.Sprintf("mrbench -local -pattern %s -datatype %s -keysize %d -valuesize %d -pairs %d -maps %d -reduces %d -parallelcopies %d -slowstart %g%s -bench-reps %d -bench-json %s",
 			cfg.Pattern, cfg.DataType, cfg.KeySize, cfg.ValueSize, cfg.PairsPerMap, res.NumMaps, res.NumReduces, cfg.ParallelCopies, cfg.Slowstart, extras, reps, path),
 		Config: benchConfig{
@@ -317,6 +368,8 @@ func writeBenchJSON(path string, cfg microbench.Config, disk bool, reps int) err
 			Codec:          cfg.Codec,
 			Combine:        cfg.Combine,
 			DiskShuffle:    disk,
+			ShuffleMem:     cfg.ShuffleMemBudget,
+			MergeFactor:    cfg.MergeFactor,
 			Reps:           reps,
 		},
 		Results: benchResults{
@@ -332,6 +385,21 @@ func writeBenchJSON(path string, cfg microbench.Config, disk bool, reps int) err
 			ShuffleMBPerSec:  float64(shuffled) / (1 << 20) / secs,
 			SpilledRecords:   res.Counters.Task(mapreduce.CtrSpilledRecords),
 			ReduceOutRecs:    res.Counters.Task(mapreduce.CtrReduceOutputRecords),
+		},
+		ReduceMerge: benchReduceMerge{
+			FetchWaitMS:    float64(rm.FetchWait.Microseconds()) / 1e3,
+			MemMergeMS:     float64(rm.MemMerge.Microseconds()) / 1e3,
+			DiskPassMS:     float64(rm.DiskPass.Microseconds()) / 1e3,
+			FinalMergeMS:   float64(rm.FinalMerge.Microseconds()) / 1e3,
+			DiskRuns:       rm.DiskRuns,
+			DiskPasses:     rm.DiskPasses,
+			SpilledRecords: rm.SpilledRecords,
+			SpilledBytes:   rm.SpilledBytes,
+
+			BoundedBudget:        boundedCfg.ShuffleMemBudget,
+			BoundedWallMS:        boundedWall,
+			BoundedTailMS:        boundedTail,
+			TailRatioVsUnbounded: ratio(boundedTail, tail),
 		},
 		Codec: benchCodec{
 			PlainWallMS:      plainWall,

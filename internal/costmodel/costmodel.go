@@ -79,8 +79,13 @@ func Default() *Model {
 }
 
 // ShuffleBufferBytes returns the reduce-side in-memory shuffle buffer size,
-// honouring any conf override of the buffer percentages.
+// honouring any conf override. The absolute-byte key (the knob the real
+// executor's bounded pool uses) wins over the heap-percentage form so the
+// sims and localrun agree on the budget a job actually configured.
 func (m *Model) ShuffleBufferBytes(conf *mapreduce.Conf) int64 {
+	if b := conf.GetInt(mapreduce.ConfShuffleInputBufBytes, 0); b > 0 {
+		return int64(b)
+	}
 	pct := conf.GetFloat(mapreduce.ConfShuffleInputBufPct, m.ShuffleBufferPct)
 	return int64(pct * float64(m.ReduceTaskHeap))
 }

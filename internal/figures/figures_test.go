@@ -34,7 +34,7 @@ func TestAllFiguresRegistered(t *testing.T) {
 	}
 	for _, want := range []string{"fig2a", "fig2b", "fig2c", "fig3a", "fig3b", "fig3c",
 		"fig4a", "fig4b", "fig4c", "fig5", "fig6a", "fig6b", "fig7", "fig8a", "fig8b",
-		"fig-codec", "summary"} {
+		"fig-codec", "fig-mergemem", "summary"} {
 		if !ids[want] {
 			t.Errorf("missing figure %s", want)
 		}

@@ -1,0 +1,30 @@
+package figures
+
+import "testing"
+
+// TestFigMergememLadder checks the figure's physics: shrinking the reduce-side
+// merge memory budget can only slow a job down (extra disk passes are pure
+// added work), the tightest budget must actually cost something on the fastest
+// interconnect (where no copy phase hides it), and the percent-derived default
+// must match the sims' pre-existing single-pass behavior.
+func TestFigMergememLadder(t *testing.T) {
+	out := generate(t, "fig-mergemem", Options{Quick: true})
+	tb := out.Tables[0]
+	def := seriesVals(t, tb, "default (heap %)")
+	tight := seriesVals(t, tb, "8MB")
+	if len(def) != 3 {
+		t.Fatalf("expected 3 interconnect rungs, got %d", len(def))
+	}
+	const slack = 1e-9
+	for i := range def {
+		if tight[i] < def[i]-slack {
+			t.Errorf("tight budget faster than unbounded on %s: 8MB=%.3fs default=%.3fs",
+				tb.XTicks[i], tight[i], def[i])
+		}
+	}
+	last := len(def) - 1
+	if tight[last] <= def[last]+slack {
+		t.Errorf("8MB budget shows no multi-pass cost on %s: 8MB=%.3fs default=%.3fs",
+			tb.XTicks[last], tight[last], def[last])
+	}
+}

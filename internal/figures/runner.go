@@ -30,7 +30,7 @@ type PointResult struct {
 // Bump the version whenever a kernel, engine, or cost-model change alters
 // simulation results: old disk entries then miss instead of resurfacing
 // stale numbers.
-const pointKeySchema = "mrmicro/point/v3" // v3: Config gained Codec and Combine (data-plane knobs)
+const pointKeySchema = "mrmicro/point/v4" // v4: Config gained ShuffleMemBudget and MergeFactor (reduce-merge knobs)
 
 // pointKey is the hashed identity of a sweep point. Config is normalized
 // (defaults explicit, Model resolved) before hashing, so every spelling of

@@ -54,6 +54,12 @@ func pooledBuf(capacity int) []byte {
 	return buf[:0]
 }
 
+// GrabBuf returns a length-n buffer drawn from the segment pool, for
+// callers that receive segment wire bytes from outside (a shuffle fetch)
+// and adopt them via SegmentFromBytes: recycling the segment then returns
+// the buffer here instead of leaving a garbage slab per fetch.
+func GrabBuf(n int) []byte { return pooledBuf(n)[:n] }
+
 // Append adds one record.
 func (w *Writer) Append(key, val []byte) {
 	if w.closed {

@@ -152,6 +152,36 @@ func MergePasses(n, factor int) []int {
 	return passes
 }
 
+// MergeWave plans one pass of an adjacency-preserving multi-pass merge: it
+// partitions n position-ordered runs into consecutive groups, each merged
+// to a single run, returning the group sizes (nil when n <= factor and no
+// intermediate pass is needed). It is MergePasses' positional sibling:
+// MergePasses' FIFO schedule (used for map-side spills, whose segment
+// identity does not outlive the task) can merge runs whose coverage
+// interleaves, but a reduce-side disk merge must only ever combine runs
+// covering adjacent map-index ranges, or positional tie-breaking — and with
+// it output byte-identity against a flat merge — would not survive the
+// pass. Groups are balanced to within one run so a wave's merges
+// parallelize evenly; a size-1 group passes its run through unmerged.
+func MergeWave(n, factor int) []int {
+	if factor < 2 {
+		factor = 2
+	}
+	if n <= factor {
+		return nil
+	}
+	g := (n + factor - 1) / factor
+	sizes := make([]int, g)
+	base, extra := n/g, n%g
+	for i := range sizes {
+		sizes[i] = base
+		if i < extra {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
 // mergeIntermediate executes every intermediate pass of the MergePasses
 // plan, leaving at most factor segments for the caller's final merge. It
 // returns those final segments plus, per segment, whether this function

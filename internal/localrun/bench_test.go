@@ -28,7 +28,10 @@ func benchSegment(n int, seed int64) *kvbuf.Segment {
 
 // benchFetchAll shuffles one reducer's input — every map's partition segment
 // — from the server, bounded by `parallel` persistent pipelined connections.
-// It is the benchmark's view of the production copy phase.
+// It is the benchmark's view of the production copy phase, including its
+// buffer lifecycle: fetched payloads are drawn from the slab pool (GrabBuf)
+// and recycled once consumed, so steady-state iterations allocate almost
+// nothing per segment.
 func benchFetchAll(addr string, maps, reduce, parallel int) error {
 	segs, _, _, err := fetchAllSegments(addr, maps, reduce, parallel, false, nil, faultinject.Backoff{})
 	if err != nil {
@@ -38,6 +41,7 @@ func benchFetchAll(addr string, maps, reduce, parallel int) error {
 		if s == nil {
 			return fmt.Errorf("map %d segment missing", m)
 		}
+		s.Recycle()
 	}
 	return nil
 }

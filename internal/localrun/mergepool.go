@@ -1,0 +1,718 @@
+// mergepool.go is the memory-bounded side of the overlapped copy phase:
+// Hadoop's reduce-side MergeManager. Fetched segments are admitted into a
+// pool bounded by Options.ShuffleMemBudget; when the pool crosses the merge
+// threshold — or a copier is blocked waiting for room — a background merger
+// compacts a contiguous range of in-memory segments into one sorted on-disk
+// run (IFile spill format, compressed when the job compresses map output)
+// while the copiers keep fetching. The final reduce pass merges the mixed
+// memory+disk run set. Every run covers a contiguous range of map indices
+// and every merge tie-breaks equal keys by source position, so the output
+// bytes are identical to the unbounded all-in-memory merge — the budget is
+// invisible in the job's output, visible only in its memory ceiling.
+package localrun
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mrmicro/internal/kvbuf"
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/writable"
+)
+
+// shuffleTuning carries the reduce-side merge pipeline's knobs into the
+// copy phase. budget <= 0 keeps the pool unbounded (the all-in-memory fast
+// path, with block premerge); budget > 0 enables the bounded pool and its
+// background spiller, with threshold (merge percent x budget) as the spill
+// trigger. codec, when non-nil, compresses spill runs on disk. tm is the
+// stats sink; the constructor substitutes a fresh one when nil.
+type shuffleTuning struct {
+	factor    int   // merge fan-in, io.sort.factor
+	budget    int64 // in-memory pool bound in bytes; <= 0: unbounded
+	threshold int64 // pool bytes that trigger a background spill
+	codec     kvbuf.Codec
+	tm        *mergeTimings
+}
+
+// mergeTimings accumulates the reduce-side merge pipeline's work for the
+// bench breakdown. Atomics because spills, intermediate merge waves, and
+// blocked copiers record concurrently.
+type mergeTimings struct {
+	fetchWaitNs  atomic.Int64 // copier time blocked on pool admission
+	memMergeNs   atomic.Int64 // in-memory merges feeding spills
+	diskPassNs   atomic.Int64 // writing spill runs + intermediate disk merges
+	finalMergeNs atomic.Int64 // final merge + reduce pass
+	diskRuns     atomic.Int64 // runs created by pool spills
+	diskPasses   atomic.Int64 // intermediate disk merge waves
+	spilledRecs  atomic.Int64 // records written to reduce-side disk runs
+	spilledBytes atomic.Int64
+}
+
+func (tm *mergeTimings) addFetchWait(d time.Duration)  { tm.fetchWaitNs.Add(int64(d)) }
+func (tm *mergeTimings) addMemMerge(d time.Duration)   { tm.memMergeNs.Add(int64(d)) }
+func (tm *mergeTimings) addDiskPass(d time.Duration)   { tm.diskPassNs.Add(int64(d)) }
+func (tm *mergeTimings) addFinalMerge(d time.Duration) { tm.finalMergeNs.Add(int64(d)) }
+
+// absorb folds o into tm (a winning reduce attempt into the job totals).
+func (tm *mergeTimings) absorb(o *mergeTimings) {
+	tm.fetchWaitNs.Add(o.fetchWaitNs.Load())
+	tm.memMergeNs.Add(o.memMergeNs.Load())
+	tm.diskPassNs.Add(o.diskPassNs.Load())
+	tm.finalMergeNs.Add(o.finalMergeNs.Load())
+	tm.diskRuns.Add(o.diskRuns.Load())
+	tm.diskPasses.Add(o.diskPasses.Load())
+	tm.spilledRecs.Add(o.spilledRecs.Load())
+	tm.spilledBytes.Add(o.spilledBytes.Load())
+}
+
+func (tm *mergeTimings) stats() ReduceMergeStats {
+	return ReduceMergeStats{
+		FetchWait:      time.Duration(tm.fetchWaitNs.Load()),
+		MemMerge:       time.Duration(tm.memMergeNs.Load()),
+		DiskPass:       time.Duration(tm.diskPassNs.Load()),
+		FinalMerge:     time.Duration(tm.finalMergeNs.Load()),
+		DiskRuns:       tm.diskRuns.Load(),
+		DiskPasses:     tm.diskPasses.Load(),
+		SpilledRecords: tm.spilledRecs.Load(),
+		SpilledBytes:   tm.spilledBytes.Load(),
+	}
+}
+
+// ReduceMergeStats breaks down the reduce-side merge pipeline's work across
+// all winning reduce attempts: where the copy phase waited, what moved to
+// disk, and how long the merge passes took. All-zero (except FinalMerge)
+// when the pool is unbounded and nothing spilled.
+type ReduceMergeStats struct {
+	FetchWait  time.Duration // copier time blocked on pool admission
+	MemMerge   time.Duration // in-memory merges feeding spills
+	DiskPass   time.Duration // spill-run writes + intermediate disk merges
+	FinalMerge time.Duration // final merge + reduce pass (sort+reduce tail)
+
+	DiskRuns       int64 // on-disk runs created by pool spills
+	DiskPasses     int64 // intermediate disk merge waves
+	SpilledRecords int64 // records written to reduce-side disk runs
+	SpilledBytes   int64 // bytes written to reduce-side disk runs
+}
+
+// runDir lazily materializes one reduce attempt's scratch directory for
+// disk runs; nothing touches the filesystem until the first spill.
+type runDir struct {
+	once sync.Once
+	dir  string
+	err  error
+}
+
+func (rd *runDir) create() (*os.File, error) {
+	rd.once.Do(func() { rd.dir, rd.err = os.MkdirTemp("", "mrmicro-reduce-merge-") })
+	if rd.err != nil {
+		return nil, fmt.Errorf("localrun: merge scratch dir: %w", rd.err)
+	}
+	return os.CreateTemp(rd.dir, "run-*.ifile")
+}
+
+func (rd *runDir) removeAll() {
+	if rd.dir != "" {
+		os.RemoveAll(rd.dir)
+	}
+}
+
+// diskRun is one sorted on-disk run covering the contiguous map-index range
+// [lo, hi): a pool spill's output, or an intermediate disk merge's. vers
+// records each member's fetched board version at spill time so a
+// re-announced map invalidates the run.
+type diskRun struct {
+	lo, hi     int
+	f          *os.File
+	name       string
+	bytes      int64
+	records    int64
+	compressed bool
+	vers       []int64
+}
+
+// drop closes and deletes the run's file; idempotent.
+func (dr *diskRun) drop() {
+	if dr.f != nil {
+		dr.f.Close()
+		os.Remove(dr.name)
+		dr.f = nil
+	}
+}
+
+// open returns a streaming reader over the run. Concurrent opens are safe:
+// readers use ReadAt through a section reader, never the shared file offset.
+func (dr *diskRun) open() (*kvbuf.RunReader, error) {
+	return kvbuf.NewRunReader(io.NewSectionReader(dr.f, 0, dr.bytes), dr.compressed)
+}
+
+// mergeInput is one final-merge source: an in-memory segment (hi == lo+1)
+// or an on-disk run, covering map indices [lo, hi).
+type mergeInput struct {
+	lo, hi int
+	seg    *kvbuf.Segment
+	run    *diskRun
+}
+
+// admitLocked blocks until map m's fetched segment (sz bytes) fits in the
+// memory pool, kicking the background spiller to make room. Any bytes this
+// fetch supersedes are freed first, and a segment larger than the whole
+// budget is admitted alone once the pool drains — oversized inputs degrade
+// to disk merging instead of deadlocking. Returns false when the phase is
+// ending (error or abort) and the caller must drop the segment. ss.mu held.
+func (ss *streamShuffle) admitLocked(m int, sz int64) bool {
+	if old := ss.segs[m]; old != nil {
+		ss.poolUsed -= int64(old.Len())
+		old.Recycle()
+		ss.segs[m] = nil
+	}
+	var blocked time.Time
+	ss.admitWaiters++
+	for ss.err == nil && !ss.aborted && ss.poolUsed > 0 && ss.poolUsed+sz > ss.tun.budget {
+		ss.maybeSpillLocked()
+		if !ss.spilling {
+			// No spill could start: any pooled bytes left are stale segments
+			// awaiting their re-fetch. Evict them — their replacement is what
+			// the blocked copiers are trying to store.
+			ss.evictStaleLocked()
+			if ss.poolUsed == 0 || ss.poolUsed+sz <= ss.tun.budget {
+				break
+			}
+		}
+		if blocked.IsZero() {
+			blocked = time.Now()
+		}
+		ss.cond.Wait()
+	}
+	ss.admitWaiters--
+	if !blocked.IsZero() {
+		ss.tun.tm.addFetchWait(time.Since(blocked))
+	}
+	if ss.err != nil || ss.aborted {
+		return false
+	}
+	ss.poolUsed += sz
+	return true
+}
+
+// evictStaleLocked drops pooled segments superseded by a re-announcement:
+// they can never feed a merge (the run would be born stale), so under
+// admission pressure they only hold the pool hostage. The maps stay queued
+// for their re-fetch. ss.mu held.
+func (ss *streamShuffle) evictStaleLocked() {
+	for m := 0; m < ss.numMaps; m++ {
+		if ss.segs[m] == nil || ss.fetchedVer[m] >= ss.queuedVer[m] {
+			continue
+		}
+		ss.poolUsed -= int64(ss.segs[m].Len())
+		ss.segs[m].Recycle()
+		ss.segs[m] = nil
+		ss.fetchedVer[m] = 0
+		if !ss.queued[m] && !ss.inflight[m] {
+			ss.queued[m] = true
+			ss.queue = append(ss.queue, m)
+		}
+	}
+}
+
+// maybeSpillLocked starts a background spill when the pool has crossed the
+// merge threshold or a copier is blocked on admission. One spill runs at a
+// time (it re-kicks itself on completion); a spill takes the longest
+// contiguous range of up-to-date pooled segments so the resulting run's
+// coverage stays mergeable by position. ss.mu held.
+func (ss *streamShuffle) maybeSpillLocked() {
+	if ss.tun.budget <= 0 || ss.spilling || ss.finalized {
+		return
+	}
+	if ss.poolUsed < ss.tun.threshold && ss.admitWaiters == 0 {
+		return
+	}
+	if ss.admitWaiters == 0 && ss.upToDate() {
+		return // everything fetched and it fits: leave it to the final merge
+	}
+	lo, hi := ss.pickSpillRangeLocked()
+	if lo >= hi {
+		return
+	}
+	members := make([]*kvbuf.Segment, 0, hi-lo)
+	vers := make([]int64, 0, hi-lo)
+	for m := lo; m < hi; m++ {
+		members = append(members, ss.segs[m])
+		vers = append(vers, ss.fetchedVer[m])
+		ss.segs[m] = nil
+	}
+	ss.spilling = true
+	ss.mergeWG.Add(1)
+	go ss.spillRun(lo, hi, members, vers)
+}
+
+// pickSpillRangeLocked returns the longest contiguous range of pooled,
+// up-to-date segments (stale ones would make the run dead on arrival).
+// ss.mu held.
+func (ss *streamShuffle) pickSpillRangeLocked() (lo, hi int) {
+	m := 0
+	for m < ss.numMaps {
+		if ss.segs[m] == nil || ss.fetchedVer[m] < ss.queuedVer[m] {
+			m++
+			continue
+		}
+		start := m
+		for m < ss.numMaps && ss.segs[m] != nil && ss.fetchedVer[m] >= ss.queuedVer[m] {
+			m++
+		}
+		if m-start > hi-lo {
+			lo, hi = start, m
+		}
+	}
+	return lo, hi
+}
+
+// spillRun merges members (maps [lo, hi), already detached from the pool's
+// index) into one sorted run and writes it to disk, then either records the
+// run or — if a member was re-announced mid-merge — drops it and requeues
+// the members. poolUsed stays charged until the member buffers are
+// recycled, so admission cannot overshoot while the merge holds both the
+// inputs and its output.
+func (ss *streamShuffle) spillRun(lo, hi int, members []*kvbuf.Segment, vers []int64) {
+	defer ss.mergeWG.Done()
+	t0 := time.Now()
+	merged, _, err := kvbuf.MergeAll(ss.cmp, members, ss.tun.factor, 0)
+	ss.tun.tm.addMemMerge(time.Since(t0))
+	var (
+		run     *diskRun
+		records int64
+	)
+	if err == nil {
+		records = int64(merged.Records())
+		out := merged
+		compressed := false
+		if ss.tun.codec != nil {
+			z := kvbuf.CompressSegmentWith(merged, ss.tun.codec)
+			merged.Recycle()
+			out = z
+			compressed = true
+		}
+		t1 := time.Now()
+		run, err = writeRunFile(&ss.rdir, out, lo, hi, records, compressed, vers)
+		ss.tun.tm.addDiskPass(time.Since(t1))
+		out.Recycle()
+	}
+	var freed int64
+	for _, s := range members {
+		freed += int64(s.Len())
+		s.Recycle()
+	}
+	ss.mu.Lock()
+	ss.spilling = false
+	ss.poolUsed -= freed
+	stale := false
+	for i := range vers {
+		if ss.queuedVer[lo+i] != vers[i] {
+			stale = true
+			break
+		}
+	}
+	switch {
+	case err != nil:
+		if ss.err == nil {
+			ss.err = fmt.Errorf("localrun: reduce %d merge spill maps [%d,%d): %w", ss.reduce, lo, hi, err)
+		}
+		if run != nil {
+			run.drop()
+		}
+	case stale:
+		// A member was re-announced while we merged: the run embeds
+		// superseded bytes. Drop it; the consumed members go back on the
+		// fetch queue exactly as if they had never been fetched.
+		run.drop()
+		for i, m := 0, lo; m < hi; i, m = i+1, m+1 {
+			if ss.segs[m] == nil && ss.fetchedVer[m] == vers[i] {
+				ss.fetchedVer[m] = 0
+				if !ss.queued[m] && !ss.inflight[m] {
+					ss.queued[m] = true
+					ss.queue = append(ss.queue, m)
+				}
+			}
+		}
+	default:
+		ss.runs = append(ss.runs, run)
+		ss.tun.tm.diskRuns.Add(1)
+		ss.tun.tm.spilledRecs.Add(records)
+		ss.tun.tm.spilledBytes.Add(run.bytes)
+	}
+	ss.maybeSpillLocked() // the pool may still be over threshold / starved
+	ss.cond.Broadcast()
+	ss.mu.Unlock()
+}
+
+func writeRunFile(rd *runDir, seg *kvbuf.Segment, lo, hi int, records int64, compressed bool, vers []int64) (*diskRun, error) {
+	f, err := rd.create()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(seg.Bytes()); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, fmt.Errorf("localrun: writing merge run: %w", err)
+	}
+	return &diskRun{
+		lo: lo, hi: hi,
+		f: f, name: f.Name(),
+		bytes:      int64(seg.Len()),
+		records:    records,
+		compressed: compressed,
+		vers:       vers,
+	}, nil
+}
+
+// invalidateRunsLocked drops any recorded disk run covering map m after m's
+// re-announcement: the run's bytes embed a superseded attempt's output, and
+// unlike a pooled segment the stale part cannot be carved back out. The
+// run's other members return to the fetch queue — their bytes only lived in
+// the dropped run. ss.mu held.
+func (ss *streamShuffle) invalidateRunsLocked(m int) {
+	if len(ss.runs) == 0 {
+		return
+	}
+	keep := ss.runs[:0]
+	for _, run := range ss.runs {
+		if m < run.lo || m >= run.hi {
+			keep = append(keep, run)
+			continue
+		}
+		run.drop()
+		for i, mm := 0, run.lo; mm < run.hi; i, mm = i+1, mm+1 {
+			if ss.segs[mm] == nil && ss.fetchedVer[mm] == run.vers[i] {
+				ss.fetchedVer[mm] = 0
+				if !ss.queued[mm] && !ss.inflight[mm] {
+					ss.queued[mm] = true
+					ss.queue = append(ss.queue, mm)
+				}
+			}
+		}
+	}
+	ss.runs = keep
+}
+
+// boundedInputsLocked assembles the final merge's mixed memory+disk source
+// list in map order and verifies it covers every map exactly once. A hole
+// is a phase-accounting bug surfaced as a task error (the attempt retries)
+// rather than silently dropped input. ss.mu held.
+func (ss *streamShuffle) boundedInputsLocked() ([]mergeInput, error) {
+	inputs := make([]mergeInput, 0, len(ss.runs)+ss.numMaps)
+	for _, run := range ss.runs {
+		inputs = append(inputs, mergeInput{lo: run.lo, hi: run.hi, run: run})
+	}
+	for m, s := range ss.segs {
+		if s != nil {
+			inputs = append(inputs, mergeInput{lo: m, hi: m + 1, seg: s})
+		}
+	}
+	sort.Slice(inputs, func(i, j int) bool { return inputs[i].lo < inputs[j].lo })
+	next := 0
+	for _, in := range inputs {
+		if in.lo != next {
+			return nil, fmt.Errorf("localrun: reduce %d merge inputs have a hole at map %d", ss.reduce, next)
+		}
+		next = in.hi
+	}
+	if next != ss.numMaps {
+		return nil, fmt.Errorf("localrun: reduce %d merge inputs end at map %d of %d", ss.reduce, next, ss.numMaps)
+	}
+	return inputs, nil
+}
+
+// releaseAll returns every buffer and disk artifact the copy phase still
+// owns: remaining pooled segments, block premerge outputs, disk runs, and
+// the scratch directory. The reduce task calls it (via shuffleResult.cleanup)
+// once the reduce pass no longer references the merge inputs; Recycle and
+// drop are idempotent, so inputs consumed early by intermediate merge passes
+// are skipped naturally.
+func (ss *streamShuffle) releaseAll() {
+	ss.mu.Lock()
+	for _, s := range ss.segs {
+		if s != nil {
+			s.Recycle()
+		}
+	}
+	for _, s := range ss.blockSeg {
+		if s != nil {
+			s.Recycle()
+		}
+	}
+	for _, run := range ss.runs {
+		run.drop()
+	}
+	ss.mu.Unlock()
+	ss.rdir.removeAll()
+}
+
+// openInputs turns merge inputs into record sources, returning the run
+// readers that need closing.
+func openInputs(r int, inputs []mergeInput) ([]kvbuf.RecordSource, []*kvbuf.RunReader, error) {
+	srcs := make([]kvbuf.RecordSource, len(inputs))
+	var open []*kvbuf.RunReader
+	for i, in := range inputs {
+		if in.seg != nil {
+			srcs[i] = in.seg.NewReader()
+			continue
+		}
+		rr, err := in.run.open()
+		if err != nil {
+			for _, o := range open {
+				o.Close()
+			}
+			return nil, nil, fmt.Errorf("localrun: reduce %d opening run maps [%d,%d): %w", r, in.lo, in.hi, err)
+		}
+		srcs[i] = rr
+		open = append(open, rr)
+	}
+	return srcs, open, nil
+}
+
+// intermediateMerges reduces the input count to at most factor with
+// adjacency-preserving disk merge waves: each wave partitions the
+// position-ordered inputs into consecutive groups (kvbuf.MergeWave) and
+// merges the groups concurrently, each to a new on-disk run. Only adjacent
+// inputs ever merge, so positional tie-breaking — and with it output
+// byte-identity — survives every pass. Consumed inputs are recycled/deleted
+// as their group completes.
+func intermediateMerges(r int, cmp writable.RawComparator, inputs []mergeInput, factor int, rdir *runDir, tm *mergeTimings) ([]mergeInput, error) {
+	for {
+		sizes := kvbuf.MergeWave(len(inputs), factor)
+		if sizes == nil {
+			return inputs, nil
+		}
+		next := make([]mergeInput, len(sizes))
+		errs := make([]error, len(sizes))
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		var wg sync.WaitGroup
+		off := 0
+		for g, size := range sizes {
+			in := inputs[off : off+size]
+			off += size
+			if size == 1 {
+				next[g] = in[0]
+				continue
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(g int, in []mergeInput) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				next[g], errs[g] = mergeRunGroup(r, cmp, in, rdir, tm)
+			}(g, in)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		tm.diskPasses.Add(1)
+		inputs = next
+	}
+}
+
+// mergeRunGroup streams one group of adjacent inputs into a new raw on-disk
+// run, then releases the consumed inputs. Intermediate outputs stay
+// uncompressed: they are short-lived local scratch, and the one-shot codec
+// would force materializing the merged bytes in memory — exactly what the
+// bounded pipeline exists to avoid.
+func mergeRunGroup(r int, cmp writable.RawComparator, in []mergeInput, rdir *runDir, tm *mergeTimings) (mergeInput, error) {
+	t0 := time.Now()
+	defer func() { tm.addDiskPass(time.Since(t0)) }()
+	srcs, open, err := openInputs(r, in)
+	if err != nil {
+		return mergeInput{}, err
+	}
+	defer func() {
+		for _, o := range open {
+			o.Close()
+		}
+	}()
+	f, err := rdir.create()
+	if err != nil {
+		return mergeInput{}, err
+	}
+	sw := kvbuf.NewStreamWriter(f)
+	if _, err := kvbuf.MergeSources(cmp, srcs, sw.Append); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return mergeInput{}, fmt.Errorf("localrun: reduce %d disk merge maps [%d,%d): %w", r, in[0].lo, in[len(in)-1].hi, err)
+	}
+	records, bytes, err := sw.Close()
+	if err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return mergeInput{}, fmt.Errorf("localrun: reduce %d disk merge maps [%d,%d): %w", r, in[0].lo, in[len(in)-1].hi, err)
+	}
+	for _, m := range in {
+		if m.seg != nil {
+			m.seg.Recycle()
+		} else {
+			m.run.drop()
+		}
+	}
+	tm.spilledRecs.Add(records)
+	tm.spilledBytes.Add(bytes)
+	out := &diskRun{
+		lo: in[0].lo, hi: in[len(in)-1].hi,
+		f: f, name: f.Name(),
+		bytes:   bytes,
+		records: records,
+	}
+	return mergeInput{lo: out.lo, hi: out.hi, run: out}, nil
+}
+
+// mergedValueIter adapts the pull-based source merger into the reducer's
+// ValueIterator, one key group at a time. The merger's views are only valid
+// until the next pull, so each value is unmarshaled before advancing.
+type mergedValueIter struct {
+	m        *kvbuf.SourceMerger
+	cmp      writable.RawComparator
+	inst     writable.Writable
+	key, val []byte // pending record: views into the merger's sources
+	ok       bool
+	err      error
+	groupKey []byte // current group's key, copied so it outlives the views
+	started  bool
+	inGroup  bool
+	consumed int64 // records consumed from the current group
+}
+
+func newMergedValueIter(m *kvbuf.SourceMerger, cmp writable.RawComparator, valType string) (*mergedValueIter, error) {
+	inst, err := writable.New(valType)
+	if err != nil {
+		return nil, err
+	}
+	it := &mergedValueIter{m: m, cmp: cmp, inst: inst}
+	it.pull()
+	return it, it.err
+}
+
+func (it *mergedValueIter) pull() {
+	it.key, it.val, it.ok, it.err = it.m.Next()
+}
+
+// beginGroup starts the next key group, unmarshaling its key into keyInst;
+// ok=false when the stream is exhausted. Sort order is validated here: a new
+// group's key must sort strictly after the previous group's (equal keys
+// cannot start a new group, and a smaller one means a mis-sorted source).
+func (it *mergedValueIter) beginGroup(keyInst writable.Writable) (bool, error) {
+	if it.err != nil || !it.ok {
+		return false, it.err
+	}
+	if it.started && it.cmp(it.key, it.groupKey) < 0 {
+		return false, fmt.Errorf("localrun: merged records out of order")
+	}
+	it.groupKey = append(it.groupKey[:0], it.key...)
+	it.started = true
+	it.inGroup = true
+	it.consumed = 0
+	if err := writable.Unmarshal(it.groupKey, keyInst); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Next implements mapreduce.ValueIterator over the current group.
+func (it *mergedValueIter) Next() (writable.Writable, bool) {
+	if it.err != nil || !it.inGroup || !it.ok || it.cmp(it.key, it.groupKey) != 0 {
+		return nil, false
+	}
+	if err := writable.Unmarshal(it.val, it.inst); err != nil {
+		it.err = err
+		return nil, false
+	}
+	it.consumed++
+	it.pull()
+	return it.inst, true
+}
+
+// endGroup drains whatever the reducer left unread and returns the group's
+// record count.
+func (it *mergedValueIter) endGroup() (int64, error) {
+	for it.err == nil && it.ok && it.cmp(it.key, it.groupKey) == 0 {
+		it.consumed++
+		it.pull()
+	}
+	it.inGroup = false
+	return it.consumed, it.err
+}
+
+// reduceOverInputs is reduceOverParts' memory-bounded twin: the merge
+// sources are a position-ordered mix of in-memory segments and on-disk runs.
+// Intermediate disk passes bound the final fan-in to factor, then the final
+// pass streams the merge straight into the reducer — the record set is never
+// materialized, so a reduce whose shuffle volume exceeds RAM completes. The
+// emitted bytes are identical to reduceOverParts over the same fetched
+// segments (adjacent-only merging preserves positional tie-breaks).
+func reduceOverInputs(job *mapreduce.Job, r int, cmp writable.RawComparator, inputs []mergeInput, numMaps, factor int, rdir *runDir, tm *mergeTimings, ctrs *mapreduce.Counters, rep *mapreduce.CountersReporter) error {
+	inputs, err := intermediateMerges(r, cmp, inputs, factor, rdir, tm)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	defer func() { tm.addFinalMerge(time.Since(t0)) }()
+
+	srcs, open, err := openInputs(r, inputs)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, o := range open {
+			o.Close()
+		}
+	}()
+	merger, err := kvbuf.NewSourceMerger(cmp, srcs)
+	if err != nil {
+		return fmt.Errorf("localrun: reduce %d merge: %w", r, err)
+	}
+	ctrs.IncrTask(mapreduce.CtrMergedMapOutputs, int64(numMaps))
+
+	writer, err := job.Output.Writer(job.Conf, r)
+	if err != nil {
+		return fmt.Errorf("localrun: reduce %d output: %w", r, err)
+	}
+	out := mapreduce.CollectorFunc(func(k, v writable.Writable) error {
+		ctrs.IncrTask(mapreduce.CtrReduceOutputRecords, 1)
+		return writer.Write(k, v)
+	})
+	reducer := job.Reducer()
+	keyInst, err := writable.New(job.MapOutputKeyType)
+	if err != nil {
+		return err
+	}
+	it, err := newMergedValueIter(merger, cmp, job.MapOutputValueType)
+	if err != nil {
+		return fmt.Errorf("localrun: reduce %d merge: %w", r, err)
+	}
+	for {
+		ok, err := it.beginGroup(keyInst)
+		if err != nil {
+			return fmt.Errorf("localrun: reduce %d: %w", r, err)
+		}
+		if !ok {
+			break
+		}
+		ctrs.IncrTask(mapreduce.CtrReduceInputGroups, 1)
+		if err := reducer.Reduce(keyInst, it, out, rep); err != nil {
+			return fmt.Errorf("localrun: reduce %d: %w", r, err)
+		}
+		n, err := it.endGroup()
+		if err != nil {
+			return fmt.Errorf("localrun: reduce %d values: %w", r, err)
+		}
+		ctrs.IncrTask(mapreduce.CtrReduceInputRecords, n)
+	}
+	if err := reducer.Close(out, rep); err != nil {
+		return err
+	}
+	return writer.Close()
+}

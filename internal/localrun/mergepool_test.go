@@ -1,0 +1,276 @@
+package localrun
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mrmicro/internal/faultinject"
+	"mrmicro/internal/kvbuf"
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/writable"
+)
+
+// renderShuffleResult merges a completed copy phase's sources (memory
+// segments or mixed memory+disk inputs) into key=value lines, the same way
+// the final reduce merge would read them.
+func renderShuffleResult(t *testing.T, cmp writable.RawComparator, res *shuffleResult) string {
+	t.Helper()
+	var out bytes.Buffer
+	emit := func(k, v []byte) error {
+		fmt.Fprintf(&out, "%s=%s\n", k, v)
+		return nil
+	}
+	if res.inputs != nil {
+		srcs, open, err := openInputs(0, res.inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			for _, o := range open {
+				o.Close()
+			}
+		}()
+		if _, err := kvbuf.MergeSources(cmp, srcs, emit); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if _, err := kvbuf.MergeStream(cmp, res.parts, emit); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+// TestBoundedBackpressureCompletes is the subscriber-lag regression for the
+// bounded pool: with a 1-byte budget every admission waits on a background
+// spill, so copiers spend most of the phase blocked inside store(). A blocked
+// copier must be treated as in-progress work — not as a lagging subscriber to
+// tear down — and the phase must close with every map fetched and every byte
+// accounted for in the memory+disk input set.
+func TestBoundedBackpressureCompletes(t *testing.T) {
+	s, err := newShuffleServer(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const maps = 6
+	for m := 0; m < maps; m++ {
+		registerWordSegment(t, s, m, fmt.Sprintf("key-%d", m), "ok")
+	}
+	board := newCompletionBoard(maps)
+	cmp, err := writable.Comparator("Text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := &mergeTimings{}
+	ss := newStreamShuffle(s.Addr(), maps, 0, 2, false, nil, faultinject.Backoff{}, board, cmp, shuffleTuning{factor: 2, budget: 1, tm: tm})
+	for m := 0; m < maps; m++ {
+		board.Announce(m, 0)
+	}
+
+	res, err := ss.run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.cleanup()
+	for m := 0; m < maps; m++ {
+		if !res.fetched[m] {
+			t.Errorf("map %d not fetched under admission backpressure", m)
+		}
+	}
+	// A 1-byte pool cannot hold two segments, so the phase must have spilled.
+	if res.inputs == nil || tm.diskRuns.Load() == 0 {
+		t.Fatalf("budget=1 recorded no disk runs (inputs=%v, runs=%d)", res.inputs != nil, tm.diskRuns.Load())
+	}
+	out := renderShuffleResult(t, cmp, res)
+	for m := 0; m < maps; m++ {
+		if want := fmt.Sprintf("key-%d=ok", m); !strings.Contains(out, want) {
+			t.Errorf("merged output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBoundedShuffleAborts: cancellation must also unblock a bounded copy
+// phase — including copiers parked on pool admission — not just the
+// announcement wait.
+func TestBoundedShuffleAborts(t *testing.T) {
+	s, err := newShuffleServer(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const maps = 4
+	registerWordSegment(t, s, 0, "k0", "v")
+	registerWordSegment(t, s, 1, "k1", "v")
+	board := newCompletionBoard(maps)
+	board.Announce(0, 0)
+	board.Announce(1, 0)
+	cmp, _ := writable.Comparator("Text")
+	ss := newStreamShuffle(s.Addr(), maps, 0, 2, false, nil, faultinject.Backoff{}, board, cmp, shuffleTuning{factor: 2, budget: 1})
+
+	done := make(chan struct{})
+	result := make(chan error, 1)
+	go func() {
+		res, err := ss.run(done)
+		if res != nil && res.cleanup != nil {
+			res.cleanup()
+		}
+		result <- err
+	}()
+	select {
+	case err := <-result:
+		t.Fatalf("run returned %v before cancellation with 2 maps unannounced", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(done)
+	select {
+	case err := <-result:
+		if err != errShuffleAborted {
+			t.Errorf("err = %v, want errShuffleAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("bounded shuffle did not abort after done closed")
+	}
+}
+
+// TestBoundedStaleAttemptInvalidatesRun: with a 1-byte budget the stale
+// attempt's bytes land in an on-disk run before the re-announcement arrives.
+// Unlike a pooled segment the stale part cannot be carved back out, so the
+// whole run must drop, its members must re-fetch, and the final input set
+// must carry only the retried attempt's bytes.
+func TestBoundedStaleAttemptInvalidatesRun(t *testing.T) {
+	s, err := newShuffleServer(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const maps = 6
+	for m := 0; m < maps; m++ {
+		if m == 1 {
+			registerWordSegment(t, s, m, "key-1", "OLD")
+			continue
+		}
+		registerWordSegment(t, s, m, fmt.Sprintf("key-%d", m), "ok")
+	}
+
+	board := newCompletionBoard(maps)
+	cmp, err := writable.Comparator("Text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := newStreamShuffle(s.Addr(), maps, 0, 2, false, nil, faultinject.Backoff{}, board, cmp, shuffleTuning{factor: 2, budget: 1})
+
+	var mu sync.Mutex
+	fetches := map[int]int{}
+	ss.onFetch = func(m int) {
+		mu.Lock()
+		fetches[m]++
+		n := fetches[1]
+		mu.Unlock()
+		if m == 1 && n == 1 {
+			registerWordSegment(t, s, 1, "key-1", "NEW")
+			board.Announce(1, 1)
+		}
+	}
+
+	for m := 0; m < maps; m++ {
+		board.Announce(m, 0)
+	}
+	res, err := ss.run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.cleanup()
+
+	mu.Lock()
+	refetches := fetches[1]
+	mu.Unlock()
+	if refetches < 2 {
+		t.Fatalf("map 1 fetched %d times, want >= 2 (stale attempt not re-fetched)", refetches)
+	}
+	out := renderShuffleResult(t, cmp, res)
+	if strings.Contains(out, "OLD") {
+		t.Errorf("merge inputs still carry the stale attempt's bytes:\n%s", out)
+	}
+	if !strings.Contains(out, "key-1=NEW") {
+		t.Errorf("merge inputs missing the retried attempt's record:\n%s", out)
+	}
+}
+
+// TestBoundedRunByteIdenticalAndMultiPass is the tentpole acceptance check:
+// a job whose shuffle volume exceeds the pool budget must complete through
+// multi-pass disk merging, and at every budget the output bytes must be
+// identical to the unbounded barrier run.
+func TestBoundedRunByteIdenticalAndMultiPass(t *testing.T) {
+	text, _ := corpus()
+	barrier, barrierOut := overlapJob(text, 8, 3)
+	if _, err := Run(barrier, &Options{Slowstart: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	want := renderOutput(barrierOut, 3)
+
+	for _, budget := range []int64{1, 512, 1 << 20} {
+		job, out := overlapJob(text, 8, 3)
+		res, err := Run(job, &Options{
+			Slowstart:         0.25,
+			MapParallelism:    2,
+			ReduceParallelism: 2,
+			ParallelCopies:    1,
+			ShuffleMemBudget:  budget,
+			MergeFactor:       2,
+		})
+		if err != nil {
+			t.Fatalf("budget=%d: %v", budget, err)
+		}
+		if got := renderOutput(out, 3); got != want {
+			t.Errorf("budget=%d output differs from the unbounded barrier path", budget)
+		}
+		if budget > 1 {
+			continue
+		}
+		// budget=1: no two segments ever share the pool, so every reduce must
+		// have spilled nearly all its inputs and merged them in waves.
+		rm := res.ReduceMerge
+		if rm.DiskRuns == 0 || rm.DiskPasses == 0 || rm.SpilledRecords == 0 || rm.SpilledBytes == 0 {
+			t.Errorf("budget=1 stats %+v: want disk runs, passes and spilled records > 0", rm)
+		}
+		if got := res.Counters.Task(mapreduce.CtrSpilledRecords); got == 0 {
+			t.Error("budget=1 SPILLED_RECORDS = 0, want reduce-side spills counted")
+		}
+		if got := res.Counters.Task(mapreduce.CtrMergedMapOutputs); got != 8*3 {
+			t.Errorf("MERGED_MAP_OUTPUTS = %d, want 24", got)
+		}
+	}
+}
+
+// TestBoundedRunCompressedAndCombiner: the bounded path must compose with
+// compressed map output (spill runs stored compressed) and combiners, still
+// byte-identical to the unbounded run of the same job.
+func TestBoundedRunCompressedAndCombiner(t *testing.T) {
+	text, _ := corpus()
+	base, baseOut := wordCountJob(text, 6, 2, true)
+	base.Conf.Set(mapreduce.ConfCompressMapOut, "true")
+	if _, err := Run(base, &Options{Slowstart: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	want := renderOutput(baseOut, 2)
+
+	job, out := wordCountJob(text, 6, 2, true)
+	job.Conf.Set(mapreduce.ConfCompressMapOut, "true")
+	res, err := Run(job, &Options{Slowstart: 0.25, ShuffleMemBudget: 1, MergeFactor: 2, ParallelCopies: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderOutput(out, 2); got != want {
+		t.Error("bounded compressed+combined output differs from the unbounded run")
+	}
+	if res.ReduceMerge.DiskRuns == 0 {
+		t.Errorf("stats %+v: compressed bounded run spilled nothing", res.ReduceMerge)
+	}
+}

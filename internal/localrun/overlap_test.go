@@ -294,7 +294,7 @@ func TestStaleAttemptReFetched(t *testing.T) {
 	}
 	// factor 2 with 6 maps enables background block merges, so the stale
 	// fetch can land inside a premerged block that must be invalidated.
-	ss := newStreamShuffle(s.Addr(), maps, 0, 2, false, nil, faultinject.Backoff{}, board, cmp, 2)
+	ss := newStreamShuffle(s.Addr(), maps, 0, 2, false, nil, faultinject.Backoff{}, board, cmp, shuffleTuning{factor: 2})
 
 	var mu sync.Mutex
 	fetches := map[int]int{}
@@ -362,7 +362,7 @@ func TestStreamShuffleAborts(t *testing.T) {
 	board := newCompletionBoard(maps)
 	board.Announce(0, 0)
 	cmp, _ := writable.Comparator("Text")
-	ss := newStreamShuffle(s.Addr(), maps, 0, 2, false, nil, faultinject.Backoff{}, board, cmp, 10)
+	ss := newStreamShuffle(s.Addr(), maps, 0, 2, false, nil, faultinject.Backoff{}, board, cmp, shuffleTuning{factor: 10})
 
 	done := make(chan struct{})
 	result := make(chan error, 1)

@@ -32,6 +32,26 @@ type Options struct {
 	// strict barrier schedule.
 	Slowstart float64
 
+	// ShuffleMemBudget bounds the bytes of fetched map output a reduce task
+	// holds in memory at once — Hadoop's MergeManager budget (the absolute
+	// form of mapreduce.reduce.shuffle.input.buffer.percent). When the pool
+	// crosses the merge threshold (merge percent x budget), or a copier is
+	// blocked waiting for room, a background merger compacts in-memory
+	// segments into sorted on-disk IFile runs while the copiers keep
+	// fetching, and the final pass streams the merge over the mixed
+	// memory+disk run set — so a reduce whose shuffle volume exceeds RAM
+	// completes, with output bytes identical to the unbounded merge. Zero
+	// defers to the job Conf's mapreduce.reduce.shuffle.input.buffer.bytes
+	// (default 0 = unbounded, the all-in-memory fast path); negative forces
+	// unbounded.
+	ShuffleMemBudget int64
+
+	// MergeFactor bounds the fan-in of reduce-side merges (in-memory spill
+	// merges, intermediate disk passes, and the final merge), overriding
+	// the job Conf's io.sort.factor for the reduce side. Zero defers to the
+	// conf (default 10).
+	MergeFactor int
+
 	// DiskShuffle stores committed map outputs in a spill file instead of
 	// retained heap buffers, served zero-copy via sendfile where the
 	// platform allows — the real-Hadoop shape (mapred.local.dir +
@@ -95,6 +115,11 @@ type Result struct {
 	MapPhase      time.Duration
 	OverlapWindow time.Duration
 	ReduceTail    time.Duration
+
+	// ReduceMerge breaks down the reduce-side merge pipeline's work across
+	// winning reduce attempts: fetch-admission waits, in-memory merges,
+	// disk passes, and the final merge+reduce pass.
+	ReduceMerge ReduceMergeStats
 }
 
 // Run executes the job to completion and returns its merged counters.
@@ -180,6 +205,7 @@ func Run(job *mapreduce.Job, opts *Options) (*Result, error) {
 	reduceSlots := make(chan struct{}, opts.ReduceParallelism)
 	mapCtrs := make([]*mapreduce.Counters, len(splits))
 	redCtrs := make([]*mapreduce.Counters, numReduces)
+	jobTM := &mergeTimings{} // reduce-side merge pipeline totals
 	var firstReduceStart time.Time
 
 	var wg sync.WaitGroup
@@ -218,7 +244,7 @@ func Run(job *mapreduce.Job, opts *Options) (*Result, error) {
 			go func() {
 				defer wg.Done()
 				defer func() { <-reduceSlots }()
-				c, err := runReduceWithRetry(job, jobID, r, len(splits), server.Addr(), cmp, opts, board, sched.done, attempts)
+				c, err := runReduceWithRetry(job, jobID, r, len(splits), server.Addr(), cmp, opts, board, sched.done, attempts, jobTM)
 				redCtrs[r] = c
 				if err != nil {
 					sched.fail(err)
@@ -250,6 +276,7 @@ func Run(job *mapreduce.Job, opts *Options) (*Result, error) {
 		PerReduceRecords: perReduce,
 		MapPhase:         lastCommit.Sub(start),
 		ReduceTail:       end.Sub(lastCommit),
+		ReduceMerge:      jobTM.stats(),
 	}
 	if !firstReduceStart.IsZero() && lastCommit.After(firstReduceStart) {
 		res.OverlapWindow = lastCommit.Sub(firstReduceStart)
@@ -375,7 +402,7 @@ func runMapWithRetry(job *mapreduce.Job, jobID mapreduce.JobID, idx int, split m
 // runReduceWithRetry is runMapWithRetry's reduce-side twin. done aborts
 // attempts (and the wait for map announcements inside them) once the job
 // has failed elsewhere.
-func runReduceWithRetry(job *mapreduce.Job, jobID mapreduce.JobID, r, numMaps int, serverAddr string, cmp writable.RawComparator, opts *Options, board *completionBoard, done <-chan struct{}, attempts int) (*mapreduce.Counters, error) {
+func runReduceWithRetry(job *mapreduce.Job, jobID mapreduce.JobID, r, numMaps int, serverAddr string, cmp writable.RawComparator, opts *Options, board *completionBoard, done <-chan struct{}, attempts int, jobTM *mergeTimings) (*mapreduce.Counters, error) {
 	bo := opts.FetchBackoff
 	if bo.Attempts == 0 && opts.Faults != nil {
 		bo.Attempts = opts.Faults.FetchAttempts()
@@ -384,11 +411,15 @@ func runReduceWithRetry(job *mapreduce.Job, jobID mapreduce.JobID, r, numMaps in
 	if copies <= 0 {
 		copies = job.Conf.ParallelCopies()
 	}
+	tun, err := reduceTuning(job, opts)
+	if err != nil {
+		return mapreduce.NewCounters(), err
+	}
 	faultCtrs := mapreduce.NewCounters()
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		aid := mapreduce.ReduceAttempt(jobID, r, attempt)
-		c, err := runReduceTask(job, aid, numMaps, serverAddr, cmp, opts.Faults, bo, copies, faultCtrs, board, done)
+		c, err := runReduceTask(job, aid, numMaps, serverAddr, cmp, opts.Faults, bo, copies, tun, faultCtrs, board, done, jobTM)
 		if err == nil {
 			c.Merge(faultCtrs)
 			return c, nil
@@ -404,6 +435,32 @@ func runReduceWithRetry(job *mapreduce.Job, jobID mapreduce.JobID, r, numMaps in
 		}
 	}
 	return faultCtrs, fmt.Errorf("localrun: reduce %d failed after %d attempts: %w", r, attempts, lastErr)
+}
+
+// reduceTuning resolves the reduce-side merge pipeline's knobs — fan-in,
+// memory budget, spill threshold, and the disk-run codec — from the options
+// and job conf. It is shared by every reduce attempt of the job.
+func reduceTuning(job *mapreduce.Job, opts *Options) (shuffleTuning, error) {
+	tun := shuffleTuning{factor: opts.MergeFactor, budget: opts.ShuffleMemBudget}
+	if tun.factor <= 0 {
+		tun.factor = job.Conf.IOSortFactor()
+	}
+	if tun.budget == 0 {
+		tun.budget = job.Conf.ShuffleMemoryBytes()
+	}
+	if tun.budget <= 0 {
+		tun.budget = 0
+		return tun, nil
+	}
+	tun.threshold = int64(float64(tun.budget) * job.Conf.ShuffleMergePercent())
+	if job.Conf.GetBool(mapreduce.ConfCompressMapOut, false) {
+		codec, ok := kvbuf.CodecByName(job.Conf.CompressCodec())
+		if !ok {
+			return tun, fmt.Errorf("localrun: unknown map-output codec %q (have %v)", job.Conf.CompressCodec(), kvbuf.CodecNames())
+		}
+		tun.codec = codec
+	}
+	return tun, nil
 }
 
 // mapCollector routes mapper output into the sort buffer, spilling as the
@@ -736,7 +793,7 @@ func (it *valueIter) Next() (writable.Writable, bool) {
 	return it.inst, true
 }
 
-func runReduceTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, numMaps int, serverAddr string, cmp writable.RawComparator, plan *faultinject.Plan, bo faultinject.Backoff, copies int, faultCtrs *mapreduce.Counters, board *completionBoard, done <-chan struct{}) (*mapreduce.Counters, error) {
+func runReduceTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, numMaps int, serverAddr string, cmp writable.RawComparator, plan *faultinject.Plan, bo faultinject.Backoff, copies int, tun shuffleTuning, faultCtrs *mapreduce.Counters, board *completionBoard, done <-chan struct{}, jobTM *mergeTimings) (*mapreduce.Counters, error) {
 	r := aid.Task.Index
 	ctrs := mapreduce.NewCounters()
 	rep := &mapreduce.CountersReporter{C: ctrs}
@@ -744,11 +801,22 @@ func runReduceTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, numMaps int,
 	// Shuffle: stream this partition's segment from every map as it commits
 	// to the completion board, over parallelcopies persistent pipelined
 	// connections. Each fetch verifies the IFile checksum as it streams in
-	// and retries transient failures with backoff; completed contiguous
-	// blocks merge in the background while later map waves still run.
+	// and retries transient failures with backoff. With an unbounded pool,
+	// completed contiguous blocks merge in the background while later map
+	// waves still run; with ShuffleMemBudget set, the bounded pool's
+	// background spiller compacts in-memory segments to on-disk runs
+	// instead.
 	compressed := job.Conf.GetBool(mapreduce.ConfCompressMapOut, false)
-	ss := newStreamShuffle(serverAddr, numMaps, r, copies, compressed, plan, bo, board, cmp, job.Conf.IOSortFactor())
+	tm := &mergeTimings{} // this attempt's pipeline stats
+	tun.tm = tm
+	ss := newStreamShuffle(serverAddr, numMaps, r, copies, compressed, plan, bo, board, cmp, tun)
 	sres, err := ss.run(done)
+	if sres.cleanup != nil {
+		// Once the reduce pass below is done with the merge inputs, return
+		// every fetched buffer to the segment pool and delete any disk runs
+		// (a failed attempt cleans up the same way; the retry re-fetches).
+		defer sres.cleanup()
+	}
 	st := sres.st
 	// Skip zero increments so clean runs don't grow an all-zero
 	// FaultCounter group in their counter dump.
@@ -777,7 +845,27 @@ func runReduceTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, numMaps int,
 		return ctrs, faultinject.Errorf("localrun: %s aborted after shuffle", aid)
 	}
 
-	return ctrs, reduceOverParts(job, r, cmp, sres.parts, numMaps, ctrs, rep)
+	if sres.inputs != nil {
+		// Bounded pool with spilled runs: stream the final merge over the
+		// mixed memory+disk source set.
+		err = reduceOverInputs(job, r, cmp, sres.inputs, numMaps, tun.factor, &ss.rdir, tm, ctrs, rep)
+	} else {
+		t0 := time.Now()
+		err = reduceOverParts(job, r, cmp, sres.parts, numMaps, ctrs, rep)
+		tm.addFinalMerge(time.Since(t0))
+	}
+	if err != nil {
+		return ctrs, err
+	}
+	// Reduce-side disk runs count as spilled records, as in Hadoop. The
+	// total is schedule-dependent under a general budget (which segments
+	// share a spill depends on fetch arrival order), so identity checks
+	// treat it separately from the deterministic task counters.
+	if sr := tm.spilledRecs.Load(); sr > 0 {
+		ctrs.IncrTask(mapreduce.CtrSpilledRecords, sr)
+	}
+	jobTM.absorb(tm)
+	return ctrs, nil
 }
 
 // reduceOverParts is the sort+reduce tail of a reduce task: merge the fetched

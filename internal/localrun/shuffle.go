@@ -260,7 +260,11 @@ func (c *shuffleConn) response(checksum bool) ([]byte, error) {
 		return nil, fmt.Errorf("localrun: shuffle length: %w", err)
 	}
 	n := int(binary.BigEndian.Uint64(hdr[1:]))
-	data := make([]byte, n)
+	// Draw the payload buffer from the segment pool: the fetched segment
+	// adopts it (SegmentFromBytes) and Recycle returns it here once the
+	// segment is merged or spilled, instead of leaving a garbage slab per
+	// fetch.
+	data := kvbuf.GrabBuf(n)
 	if !checksum {
 		if _, err := io.ReadFull(c.br, data); err != nil {
 			return nil, fmt.Errorf("localrun: shuffle payload: %w", err)
@@ -705,6 +709,14 @@ type shuffleResult struct {
 	wire    []int64 // per original map: payload bytes moved for its winning fetch
 	fetched []bool  // per original map: its segment arrived
 	st      fetchStats
+
+	// inputs, when non-nil, replaces parts: the bounded pool's mixed
+	// memory+disk merge sources in map order (reduceOverInputs consumes
+	// them). cleanup releases everything the copy phase still owns —
+	// pooled segments, disk runs, the scratch dir — and must run once the
+	// reduce pass no longer references the merge inputs.
+	inputs  []mergeInput
+	cleanup func()
 }
 
 // streamShuffle coordinates one reduce task's overlapped copy phase: a
@@ -726,6 +738,7 @@ type streamShuffle struct {
 	board      *completionBoard
 	cmp        writable.RawComparator
 	blockWidth int // premerge block size; 0 disables background merge
+	tun        shuffleTuning
 
 	onFetch func(mapIdx int) // test hook: called after a segment is stored
 
@@ -747,13 +760,27 @@ type streamShuffle struct {
 	err        error
 	aborted    bool
 	finalized  bool
+
+	// Bounded-pool state (tun.budget > 0): poolUsed charges every admitted
+	// segment byte (including bytes held by an in-flight spill merge),
+	// admitWaiters counts copiers blocked on admission, spilling serializes
+	// background spills, runs are the recorded on-disk runs, and rdir lazily
+	// owns their scratch directory.
+	poolUsed     int64
+	admitWaiters int
+	spilling     bool
+	runs         []*diskRun
+	rdir         runDir
 }
 
-func newStreamShuffle(addr string, numMaps, reduce, copies int, compressed bool, plan *faultinject.Plan, bo faultinject.Backoff, board *completionBoard, cmp writable.RawComparator, factor int) *streamShuffle {
+func newStreamShuffle(addr string, numMaps, reduce, copies int, compressed bool, plan *faultinject.Plan, bo faultinject.Backoff, board *completionBoard, cmp writable.RawComparator, tun shuffleTuning) *streamShuffle {
 	if copies < 1 {
 		copies = 1
 	}
 	copies = min(copies, numMaps)
+	if tun.tm == nil {
+		tun.tm = &mergeTimings{}
+	}
 	ss := &streamShuffle{
 		addr:       addr,
 		reduce:     reduce,
@@ -764,6 +791,7 @@ func newStreamShuffle(addr string, numMaps, reduce, copies int, compressed bool,
 		bo:         bo,
 		board:      board,
 		cmp:        cmp,
+		tun:        tun,
 		queued:     make([]bool, numMaps),
 		inflight:   make([]bool, numMaps),
 		queuedVer:  make([]int64, numMaps),
@@ -776,10 +804,12 @@ func newStreamShuffle(addr string, numMaps, reduce, copies int, compressed bool,
 	ss.cond = sync.NewCond(&ss.mu)
 	// Background merge only pays when blocks complete while other maps are
 	// still copying; a single block spanning the whole job cannot overlap
-	// with anything, so it is disabled.
-	if factor >= 2 && numMaps > factor {
-		ss.blockWidth = factor
-		ss.blockSeg = make([]*kvbuf.Segment, (numMaps+factor-1)/factor)
+	// with anything, so it is disabled. With a bounded pool the background
+	// spiller IS the overlapped merge — block premerge would pin block-sized
+	// buffers the budget does not account for, so it is disabled too.
+	if tun.budget <= 0 && tun.factor >= 2 && numMaps > tun.factor {
+		ss.blockWidth = tun.factor
+		ss.blockSeg = make([]*kvbuf.Segment, (numMaps+tun.factor-1)/tun.factor)
 		ss.merging = make([]bool, len(ss.blockSeg))
 	}
 	return ss
@@ -861,6 +891,11 @@ func (ss *streamShuffle) noteAnnounce(m int, ver int64) {
 		ss.blockSeg[b].Recycle()
 		ss.blockSeg[b] = nil
 	}
+	// ... and any on-disk run: the superseded bytes cannot be carved back
+	// out of a merged run, so the run drops and its members re-fetch.
+	if ss.tun.budget > 0 {
+		ss.invalidateRunsLocked(m)
+	}
 	if !ss.queued[m] && !ss.inflight[m] && ss.fetchedVer[m] < ver {
 		ss.queued[m] = true
 		ss.queue = append(ss.queue, m)
@@ -939,10 +974,18 @@ func (ss *streamShuffle) worker(w int) {
 // queuedVer and the map is re-queued by batchDone.
 func (ss *streamShuffle) store(m int, seg *kvbuf.Segment, n int64) {
 	ss.mu.Lock()
+	if ss.tun.budget > 0 && !ss.admitLocked(m, int64(seg.Len())) {
+		// The phase is ending (error or abort): drop the segment rather
+		// than block forever on a pool nobody will drain.
+		ss.mu.Unlock()
+		seg.Recycle()
+		return
+	}
 	ss.segs[m] = seg
 	ss.wire[m] = n
 	ss.fetchedVer[m] = ss.dispVer[m]
 	ss.maybeMergeBlock(ss.blockOf(m))
+	ss.maybeSpillLocked()
 	ss.mu.Unlock()
 	if ss.onFetch != nil {
 		ss.onFetch(m)
@@ -1028,6 +1071,7 @@ func (ss *streamShuffle) finalize() (*shuffleResult, error) {
 	res := &shuffleResult{
 		wire:    ss.wire,
 		fetched: make([]bool, ss.numMaps),
+		cleanup: ss.releaseAll,
 	}
 	for m := 0; m < ss.numMaps; m++ {
 		res.fetched[m] = ss.fetchedVer[m] > 0
@@ -1040,6 +1084,14 @@ func (ss *streamShuffle) finalize() (*shuffleResult, error) {
 	}
 	if ss.aborted && !ss.upToDate() {
 		return res, errShuffleAborted
+	}
+	if ss.tun.budget > 0 && len(ss.runs) > 0 {
+		inputs, err := ss.boundedInputsLocked()
+		if err != nil {
+			return res, err
+		}
+		res.inputs = inputs
+		return res, nil
 	}
 	if ss.blockWidth == 0 {
 		res.parts = ss.segs

@@ -33,6 +33,13 @@ const (
 	ConfSlowstartMaps      = "mapreduce.job.reduce.slowstart.completedmaps"
 	ConfShuffleInputBufPct = "mapreduce.reduce.shuffle.input.buffer.percent"
 	ConfShuffleMergePct    = "mapreduce.reduce.shuffle.merge.percent"
+
+	// ConfShuffleInputBufBytes is the absolute-byte form of the reduce-side
+	// shuffle memory budget (the percent key scales a modelled task heap;
+	// the real executor has no heap bound to scale, so it takes bytes).
+	// 0 = unbounded in the real executor / derive from percent in the
+	// simulated engines.
+	ConfShuffleInputBufBytes = "mapreduce.reduce.shuffle.input.buffer.bytes"
 	ConfMapSlots           = "mapreduce.tasktracker.map.tasks.maximum"
 	ConfReduceSlots        = "mapreduce.tasktracker.reduce.tasks.maximum"
 	ConfMapMemoryMB        = "mapreduce.map.memory.mb"
@@ -158,6 +165,15 @@ func (c *Conf) ParallelCopies() int { return c.GetInt(ConfParallelCopies, 5) }
 // SlowstartMaps returns the completed-map fraction before reducers launch
 // (default 0.05).
 func (c *Conf) SlowstartMaps() float64 { return c.GetFloat(ConfSlowstartMaps, 0.05) }
+
+// ShuffleMemoryBytes returns the reduce-side shuffle memory budget in bytes
+// (default 0: unbounded in the real executor, percent-derived in the
+// simulated engines).
+func (c *Conf) ShuffleMemoryBytes() int64 { return int64(c.GetInt(ConfShuffleInputBufBytes, 0)) }
+
+// ShuffleMergePercent returns the pool fill fraction that triggers a
+// reduce-side merge spill (default 0.66).
+func (c *Conf) ShuffleMergePercent() float64 { return c.GetFloat(ConfShuffleMergePct, 0.66) }
 
 // CompressCodec returns the map-output codec name, or "" when
 // mapreduce.map.output.compress is off. When compression is on and no codec

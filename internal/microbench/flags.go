@@ -34,6 +34,8 @@ type Flags struct {
 	seed     int64
 	rdma     bool
 	copies   int
+	shufMem  string
+	factor   int
 	slow     float64
 	codec    string
 	combine  bool
@@ -74,6 +76,8 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.Int64Var(&f.seed, "seed", 1, "seed for MR-RAND / MR-SKEW randomness")
 	fs.BoolVar(&f.rdma, "rdma", false, "use the RDMA-enhanced shuffle (MRoIB case study)")
 	fs.IntVar(&f.copies, "parallelcopies", 0, "concurrent shuffle fetch connections per reduce task (default 5, Hadoop's mapreduce.reduce.shuffle.parallelcopies)")
+	fs.StringVar(&f.shufMem, "shufflemem", "", "reduce-side in-memory shuffle budget, e.g. 64MB (Hadoop's mapreduce.reduce.shuffle.input.buffer in byte form; default unbounded in the real executor, heap-percent in the sims)")
+	fs.IntVar(&f.factor, "mergefactor", 0, "merge fan-in on both sides (default 10, Hadoop's mapreduce.task.io.sort.factor)")
 	fs.Float64Var(&f.slow, "slowstart", 0, "completed-map fraction before reducers launch, for both the sim and the real executor (default 0.05, Hadoop's mapreduce.job.reduce.slowstart.completedmaps; 1.0 = strict barrier)")
 	fs.StringVar(&f.codec, "codec", "", "map-output compression codec: none (default) or deflate (Hadoop's mapreduce.map.output.compress.codec)")
 	fs.BoolVar(&f.combine, "combine", false, "run the first-value combiner at spill and merge (map-side aggregation)")
@@ -112,10 +116,18 @@ func (f *Flags) Config() (Config, error) {
 		Seed:           f.seed,
 		RDMAShuffle:    f.rdma,
 		ParallelCopies: f.copies,
+		MergeFactor:    f.factor,
 		Slowstart:      f.slow,
 		Codec:          f.codec,
 		Combine:        f.combine,
 		ExtraConf:      f.conf.Map(),
+	}
+	if f.shufMem != "" {
+		n, err := cliutil.ParseSize(f.shufMem)
+		if err != nil {
+			return cfg, fmt.Errorf("-shufflemem: %w", err)
+		}
+		cfg.ShuffleMemBudget = n
 	}
 	if f.faultMap > 0 || f.faultReduce > 0 || f.faultDrop > 0 || f.faultTrunc > 0 ||
 		f.faultSlow > 0 || f.faultSpill > 0 || f.faultWorkerKill > 0 || f.faultPartition > 0 {
@@ -185,6 +197,12 @@ func (c Config) ReproFlags() []string {
 		"-seed", strconv.FormatInt(c.Seed, 10),
 		"-slowstart", formatFloat(c.Slowstart),
 		"-parallelcopies", strconv.Itoa(c.ParallelCopies),
+	}
+	if c.ShuffleMemBudget > 0 {
+		args = append(args, "-shufflemem", strconv.FormatInt(c.ShuffleMemBudget, 10))
+	}
+	if c.MergeFactor > 0 {
+		args = append(args, "-mergefactor", strconv.Itoa(c.MergeFactor))
 	}
 	if c.Codec != "" && c.Codec != "none" {
 		args = append(args, "-codec", c.Codec)

@@ -21,21 +21,23 @@ func TestReproRoundTrip(t *testing.T) {
 		{
 			name: "explicit everything",
 			cfg: Config{
-				Pattern:        MRSkew,
-				KeySize:        17,
-				ValueSize:      4096,
-				PairsPerMap:    12345,
-				DataType:       "Text",
-				NumMaps:        7,
-				NumReduces:     3,
-				ParallelCopies: 2,
-				Slowstart:      0.33,
-				Engine:         EngineYARN,
-				Cluster:        "B",
-				Network:        "RDMA-FDR(56Gbps)",
-				RDMAShuffle:    true,
-				Slaves:         8,
-				Seed:           99,
+				Pattern:          MRSkew,
+				KeySize:          17,
+				ValueSize:        4096,
+				PairsPerMap:      12345,
+				DataType:         "Text",
+				NumMaps:          7,
+				NumReduces:       3,
+				ParallelCopies:   2,
+				Slowstart:        0.33,
+				ShuffleMemBudget: 48 << 20,
+				MergeFactor:      4,
+				Engine:           EngineYARN,
+				Cluster:          "B",
+				Network:          "RDMA-FDR(56Gbps)",
+				RDMAShuffle:      true,
+				Slaves:           8,
+				Seed:             99,
 			},
 		},
 		{

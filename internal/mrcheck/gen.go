@@ -83,6 +83,16 @@ func Generate(seed int64, i int, opts GenOptions) microbench.Config {
 		}
 	}
 
+	// Reduce-side merge knobs: about a third of configs run with a bounded
+	// shuffle memory pool, so the background spiller, disk runs, and the
+	// multi-pass disk merge differentially test against the unbounded twin.
+	// Budget 1 pins the extreme (every fetched segment spills to its own
+	// run); the larger draws leave a mix of pooled and spilled segments.
+	if rng.Intn(3) == 0 {
+		cfg.ShuffleMemBudget = []int64{1, 1, 4 << 10, 64 << 10}[rng.Intn(4)]
+		cfg.MergeFactor = []int{0, 2, 3, 4}[rng.Intn(4)]
+	}
+
 	// Size the record stream to the byte budget, keeping draws exact for the
 	// partition oracles and at least one record per map.
 	pairLen, err := microbench.SerializedPairLen(cfg.DataType, cfg.KeySize, cfg.ValueSize)

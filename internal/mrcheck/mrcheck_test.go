@@ -160,6 +160,8 @@ func TestMutationCaught(t *testing.T) {
 func TestShrinkSynthetic(t *testing.T) {
 	cfg := Generate(3, 0, GenOptions{Faults: true})
 	cfg.NumMaps = 8
+	cfg.ShuffleMemBudget = 64 << 10
+	cfg.MergeFactor = 3
 	failing := func(c microbench.Config) bool { return c.NumMaps >= 2 }
 	got := Shrink(cfg, failing)
 	if got.NumMaps != 2 {
@@ -173,6 +175,10 @@ func TestShrinkSynthetic(t *testing.T) {
 	}
 	if got.ExtraConf != nil {
 		t.Error("irrelevant conf overrides survived shrinking")
+	}
+	if got.ShuffleMemBudget != 0 || got.MergeFactor != 0 {
+		t.Errorf("irrelevant merge knobs survived shrinking: budget=%d factor=%d",
+			got.ShuffleMemBudget, got.MergeFactor)
 	}
 }
 

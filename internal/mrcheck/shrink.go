@@ -115,6 +115,23 @@ var shrinkTransforms = []func(microbench.Config) (microbench.Config, bool){
 		c.ParallelCopies = 0
 		return c, true
 	},
+	// Unbounded shuffle memory: removes the bounded pool / disk-run merge
+	// pipeline from the repro.
+	func(c microbench.Config) (microbench.Config, bool) {
+		if c.ShuffleMemBudget == 0 {
+			return c, false
+		}
+		c.ShuffleMemBudget = 0
+		return c, true
+	},
+	// Default merge fan-in: removes multi-pass intermediate merges.
+	func(c microbench.Config) (microbench.Config, bool) {
+		if c.MergeFactor == 0 {
+			return c, false
+		}
+		c.MergeFactor = 0
+		return c, true
+	},
 	func(c microbench.Config) (microbench.Config, bool) {
 		if c.DataType == "BytesWritable" {
 			return c, false

@@ -218,11 +218,30 @@ func (js *JobState) RunReduceTask(p *sim.Proc, node *cluster.Node, idx int, onDo
 	// records/bytes ever reach this side.
 	totalRecs := spec.ReduceShuffleRecords(idx)
 	totalBytes := spec.ReduceShuffleBytes(idx)
+	fanIn := res.OnDiskSegs + res.InMemSegs
+	// With an explicit byte budget (the real executor's bounded-pool knob)
+	// the run count can exceed io.sort.factor, and the merger pays
+	// intermediate disk passes first: each wave re-reads and re-writes the
+	// spilled volume while compacting up to factor adjacent runs per group
+	// (kvbuf.MergeWave), as localrun's reduceOverInputs does. Without the
+	// byte key the single-pass model — and the existing figure calibration —
+	// is preserved byte for byte.
+	if b := spec.Conf.GetInt(mapreduce.ConfShuffleInputBufBytes, 0); b > 0 {
+		factor := spec.Conf.IOSortFactor()
+		if factor < 2 {
+			factor = 2
+		}
+		for fanIn > factor {
+			node.Store.Read(p, res.OnDiskBytes)
+			node.Compute(p, m.MergeCPU(totalRecs, factor)+float64(totalBytes)*m.MergeByteCPU)
+			node.Store.Write(p, res.OnDiskBytes)
+			fanIn = len(kvbuf.MergeWave(fanIn, factor))
+		}
+	}
 	if res.OnDiskBytes > 0 {
 		node.Store.Read(p, res.OnDiskBytes)
 		node.Store.Delete(res.OnDiskBytes)
 	}
-	fanIn := res.OnDiskSegs + res.InMemSegs
 	mergeWork := m.MergeCPU(totalRecs, fanIn) + float64(totalBytes)*m.MergeByteCPU
 	node.Compute(p, mergeWork*(1-res.MergeOverlap))
 
