@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -148,6 +149,13 @@ func runLocal(cfg microbench.Config, disk bool, benchPath string, reps int) {
 	fmt.Printf("  map phase         %v (to last map commit)\n", res.MapPhase.Round(time.Millisecond))
 	fmt.Printf("  shuffle overlap   %v (reducers running under map waves)\n", res.OverlapWindow.Round(time.Millisecond))
 	fmt.Printf("  reduce tail       %v (after last map commit)\n", res.ReduceTail.Round(time.Millisecond))
+	if ms := res.MapSpill; ms.Spills > 0 {
+		fmt.Printf("map-side spill pipeline (%d spills, %d on the background spiller):\n", ms.Spills, ms.AsyncSpills)
+		fmt.Printf("  collect stall     %v (mapper blocked on spilling)\n", ms.CollectStall.Round(time.Millisecond))
+		fmt.Printf("  spill work        %v sort+combine+codec, %v premerge\n", ms.SpillWork.Round(time.Millisecond), ms.Premerge.Round(time.Millisecond))
+		fmt.Printf("  spill overlap     %v (seal work hidden under collection)\n", ms.Overlapped().Round(time.Millisecond))
+		fmt.Printf("  drain + merge     %v waiting for last spills, %v per-map final merge\n", ms.DrainWait.Round(time.Millisecond), ms.FinalMerge.Round(time.Millisecond))
+	}
 	if rm := res.ReduceMerge; rm.DiskRuns > 0 || cfg.ShuffleMemBudget > 0 {
 		fmt.Printf("reduce-side merge (budget %d bytes):\n", cfg.ShuffleMemBudget)
 		fmt.Printf("  fetch wait        %v (copiers blocked on pool admission)\n", rm.FetchWait.Round(time.Millisecond))
@@ -175,6 +183,7 @@ type benchReport struct {
 	Command     string           `json:"command"`
 	Config      benchConfig      `json:"config"`
 	Results     benchResults     `json:"results"`
+	MapSpill    benchMapSpill    `json:"map_spill"`
 	ReduceMerge benchReduceMerge `json:"reduce_merge"`
 	Codec       benchCodec       `json:"codec"`
 }
@@ -194,6 +203,9 @@ type benchConfig struct {
 	DiskShuffle    bool    `json:"diskshuffle"`
 	ShuffleMem     int64   `json:"shuffle_mem_budget"` // 0: unbounded pool
 	MergeFactor    int     `json:"merge_factor"`       // 0: io.sort.factor default
+	IOSortMB       int     `json:"io_sort_mb"`         // 0: 100 MiB default
+	SpillPercent   float64 `json:"spill_percent"`      // 0: 0.80 default
+	CPUs           int     `json:"cpus"`               // host cores — overlap wins need >1
 	Reps           int     `json:"reps"`
 }
 
@@ -213,6 +225,28 @@ type benchResults struct {
 	ShuffleMBPerSec  float64 `json:"shuffle_mb_per_sec"`
 	SpilledRecords   int64   `json:"spilled_records"`
 	ReduceOutRecs    int64   `json:"reduce_output_records"`
+}
+
+// benchMapSpill is the v5 map-phase breakdown: where the collect/spill
+// pipeline spent the map side (last repetition of the main configuration),
+// plus a synchronous-spill re-run of the same job in the same process so the
+// background SpillThread's win — or its absence on a saturated host — is a
+// single attributable number next to the config's cpus field.
+type benchMapSpill struct {
+	CollectStallMS float64 `json:"collect_stall_ms"`   // mapper blocked on spilling
+	SpillWorkMS    float64 `json:"spill_work_ms"`      // sort+combine+codec seal time
+	SpillOverlapMS float64 `json:"spill_overlap_ms"`   // seal+premerge work hidden under collection
+	PremergeMS     float64 `json:"premerge_ms"`        // background block premerges
+	DrainWaitMS    float64 `json:"drain_wait_ms"`      // mapper waiting for the last spills
+	FinalMergeMS   float64 `json:"final_merge_ms"`     // per-map final merge + registration
+	Spills         int64   `json:"spills"`
+	AsyncSpills    int64   `json:"async_spills"`
+	PremergedRuns  int64   `json:"premerged_runs"`
+
+	SyncWallMS       float64 `json:"sync_wall_ms"`      // median, spill.overlap=false
+	SyncMapPhaseMS   float64 `json:"sync_map_phase_ms"` // median map phase, sync spills
+	SpeedupVsSync    float64 `json:"speedup_vs_sync"`   // sync wall / overlapped wall
+	SyncCollectStall float64 `json:"sync_collect_stall_ms"`
 }
 
 // benchReduceMerge is the v4 reduce-phase breakdown: where the memory-bounded
@@ -301,6 +335,13 @@ func writeBenchJSON(path string, cfg microbench.Config, disk bool, reps int) err
 	barrierCfg.Slowstart = 1.0
 	barrier, _ := measure(barrierCfg)
 
+	// Synchronous-spill twin: the same job with the background SpillThread
+	// off, so the map-side overlap's win (or its absence on a saturated
+	// host) is measured in the same process as the default path.
+	syncCfg := cfg
+	syncCfg.SyncSpill = true
+	syncSamples, syncRes := measure(syncCfg)
+
 	// Bounded comparison: the same job forced through the memory-bounded
 	// merge pipeline at a budget far below its shuffle volume, so the
 	// breakdown records what multi-pass disk merging costs here (64KB keeps
@@ -331,6 +372,9 @@ func writeBenchJSON(path string, cfg microbench.Config, disk bool, reps int) err
 	if wall > 0 {
 		speedup = barrierWall / wall
 	}
+	if speedup > 0 && speedup < 1 {
+		fmt.Fprintf(os.Stderr, "mrbench: warning: speedup_vs_barrier = %.2f < 1 — the overlapped schedule lost to the strict barrier here (host has %d CPUs; overlap needs spare cores to win)\n", speedup, runtime.NumCPU())
+	}
 	extras := ""
 	if cfg.Codec != "" {
 		extras += fmt.Sprintf(" -codec %s", cfg.Codec)
@@ -347,12 +391,20 @@ func writeBenchJSON(path string, cfg microbench.Config, disk bool, reps int) err
 	if cfg.MergeFactor > 0 {
 		extras += fmt.Sprintf(" -mergefactor %d", cfg.MergeFactor)
 	}
+	if cfg.IOSortMB > 0 {
+		extras += fmt.Sprintf(" -iosortmb %d", cfg.IOSortMB)
+	}
+	if cfg.SpillPercent > 0 {
+		extras += fmt.Sprintf(" -spillpercent %g", cfg.SpillPercent)
+	}
 	boundedWall := median(pluck(bounded, func(s sample) float64 { return s.wall }))
 	boundedTail := median(pluck(bounded, func(s sample) float64 { return s.tail }))
 	tail := median(pluck(overlapped, func(s sample) float64 { return s.tail }))
+	syncWall := median(pluck(syncSamples, func(s sample) float64 { return s.wall }))
 	rm := res.ReduceMerge
+	ms := res.MapSpill
 	rep := benchReport{
-		Schema: "mrmicro-localrun-bench/v4",
+		Schema: "mrmicro-localrun-bench/v5",
 		Command: fmt.Sprintf("mrbench -local -pattern %s -datatype %s -keysize %d -valuesize %d -pairs %d -maps %d -reduces %d -parallelcopies %d -slowstart %g%s -bench-reps %d -bench-json %s",
 			cfg.Pattern, cfg.DataType, cfg.KeySize, cfg.ValueSize, cfg.PairsPerMap, res.NumMaps, res.NumReduces, cfg.ParallelCopies, cfg.Slowstart, extras, reps, path),
 		Config: benchConfig{
@@ -370,6 +422,9 @@ func writeBenchJSON(path string, cfg microbench.Config, disk bool, reps int) err
 			DiskShuffle:    disk,
 			ShuffleMem:     cfg.ShuffleMemBudget,
 			MergeFactor:    cfg.MergeFactor,
+			IOSortMB:       cfg.IOSortMB,
+			SpillPercent:   cfg.SpillPercent,
+			CPUs:           runtime.NumCPU(),
 			Reps:           reps,
 		},
 		Results: benchResults{
@@ -385,6 +440,22 @@ func writeBenchJSON(path string, cfg microbench.Config, disk bool, reps int) err
 			ShuffleMBPerSec:  float64(shuffled) / (1 << 20) / secs,
 			SpilledRecords:   res.Counters.Task(mapreduce.CtrSpilledRecords),
 			ReduceOutRecs:    res.Counters.Task(mapreduce.CtrReduceOutputRecords),
+		},
+		MapSpill: benchMapSpill{
+			CollectStallMS: float64(ms.CollectStall.Microseconds()) / 1e3,
+			SpillWorkMS:    float64(ms.SpillWork.Microseconds()) / 1e3,
+			SpillOverlapMS: float64(ms.Overlapped().Microseconds()) / 1e3,
+			PremergeMS:     float64(ms.Premerge.Microseconds()) / 1e3,
+			DrainWaitMS:    float64(ms.DrainWait.Microseconds()) / 1e3,
+			FinalMergeMS:   float64(ms.FinalMerge.Microseconds()) / 1e3,
+			Spills:         ms.Spills,
+			AsyncSpills:    ms.AsyncSpills,
+			PremergedRuns:  ms.PremergedRuns,
+
+			SyncWallMS:       syncWall,
+			SyncMapPhaseMS:   median(pluck(syncSamples, func(s sample) float64 { return s.mapPhase })),
+			SpeedupVsSync:    ratio(syncWall, wall),
+			SyncCollectStall: float64(syncRes.MapSpill.CollectStall.Microseconds()) / 1e3,
 		},
 		ReduceMerge: benchReduceMerge{
 			FetchWaitMS:    float64(rm.FetchWait.Microseconds()) / 1e3,

@@ -97,6 +97,19 @@ func (m *Model) MergeThresholdBytes(conf *mapreduce.Conf) int64 {
 	return int64(pct * float64(m.ShuffleBufferBytes(conf)))
 }
 
+// SpillTriggerBytes returns the buffered map-output volume that triggers a
+// spill: io.sort.mb scaled by sort.spill.percent. Both simulated engines
+// derive their spill counts from this one formula so they cannot drift from
+// each other (the real executor's SortBuffer applies the same threshold to
+// actual occupancy).
+func SpillTriggerBytes(conf *mapreduce.Conf) int64 {
+	b := int64(float64(int64(conf.IOSortMB())<<20) * conf.SortSpillPercent())
+	if b <= 0 {
+		return 1
+	}
+	return b
+}
+
 // SortCPU returns the core-seconds to sort n records (n log2 n comparisons
 // plus the per-byte swap traffic folded into the compare constant).
 func (m *Model) SortCPU(records int64) float64 {

@@ -93,6 +93,7 @@ func All() []Figure {
 		{"fig8b", "IPoIB FDR vs RDMA, Cluster B, 16 slaves (MR-AVG, 32M/16R)", runFig8(16)},
 		{"fig-codec", "Shuffle compression and combiner across interconnects (MR-RAND, MRv1)", runFigCodec},
 		{"fig-mergemem", "Reduce-side merge memory budget across interconnects (MR-AVG, MRv1)", runFigMergemem},
+		{"fig-spill", "Map-side sort buffer and spill threshold (MR-AVG, MRv1)", runFigSpill},
 		{"summary", "Conclusion summary: network improvement percentages", runSummary},
 	}
 }
@@ -549,6 +550,78 @@ func runFigMergemem(o Options) (*Output, error) {
 	}
 	notes = append(notes,
 		"tighter budgets add multi-pass disk merge work; the faster the interconnect, the less of it hides under the copy phase")
+	return &Output{Tables: []*metrics.Table{table}, Notes: notes}, nil
+}
+
+// runFigSpill sweeps the map-side sort buffer (io.sort.mb) against the spill
+// threshold (sort.spill.percent): shrinking either multiplies the spill
+// count, and each spill costs a sort, a disk write, and merge fan-in at the
+// end of the map. With the background SpillThread (the default) most of that
+// seal work hides under collection wherever the node has spare cores; the
+// sync-spill series re-runs the tightest buffer with the overlap off, so the
+// gap between the last two rows is the SpillThread's isolated win — the
+// map-side twin of the shuffle-overlap story.
+func runFigSpill(o Options) (*Output, error) {
+	size := 8.0
+	if o.Quick {
+		size = 1.0
+	}
+	spillPcts := []float64{0.5, 0.67, 0.8, 0.95}
+	buffers := []struct {
+		name string
+		mb   int
+		sync bool
+	}{
+		{"default (100MB)", 0, false},
+		{"64MB", 64, false},
+		{"16MB", 16, false},
+		{"4MB", 4, false},
+		{"4MB sync spill", 4, true},
+	}
+	var cfgs []microbench.Config
+	for _, b := range buffers {
+		for _, pct := range spillPcts {
+			cfgs = append(cfgs, microbench.Config{
+				Pattern: microbench.MRAvg,
+				Engine:  microbench.EngineMRv1,
+				Cluster: microbench.ClusterA,
+				Slaves:  4, NumMaps: 16, NumReduces: 8,
+				KeySize: 1024, ValueSize: 1024,
+				Network:      netsim.OneGigE.Name,
+				IOSortMB:     b.mb,
+				SpillPercent: pct,
+				SyncSpill:    b.sync,
+			}.WithShuffleSize(gib(size)))
+		}
+	}
+	results, err := o.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	ticks := make([]string, len(spillPcts))
+	for i, pct := range spillPcts {
+		ticks[i] = fmt.Sprintf("spill %.0f%%", 100*pct)
+	}
+	table := metrics.NewTable(
+		fmt.Sprintf("Map-side sort buffer vs spill threshold (MR-AVG, %gGB shuffle, %s)", size, netsim.OneGigE.Name),
+		"mapreduce.map.sort.spill.percent", "Job Execution Time (seconds)", ticks)
+	for bi, b := range buffers {
+		vals := make([]float64, len(spillPcts))
+		for i := range spillPcts {
+			vals[i] = results[bi*len(spillPcts)+i].JobSeconds
+		}
+		table.AddSeries(b.name, vals)
+	}
+	def, _ := table.SeriesByName(buffers[0].name)
+	tight, _ := table.SeriesByName("4MB")
+	syncS, _ := table.SeriesByName("4MB sync spill")
+	notes := []string{
+		fmt.Sprintf("4MB buffer vs default: %+.1f%% mean job time (more spills, deeper final merges)",
+			-metrics.Mean(metrics.ImprovementPct(def, tight))),
+		fmt.Sprintf("background SpillThread vs sync at 4MB: %.1f%% mean improvement (the collect/spill overlap win)",
+			metrics.Mean(metrics.ImprovementPct(syncS, tight))),
+		"spill boundaries are conf-deterministic: every point's output bytes are identical across overlap modes (mrcheck's spill-identity invariant)",
+	}
 	return &Output{Tables: []*metrics.Table{table}, Notes: notes}, nil
 }
 

@@ -30,7 +30,7 @@ type PointResult struct {
 // Bump the version whenever a kernel, engine, or cost-model change alters
 // simulation results: old disk entries then miss instead of resurfacing
 // stale numbers.
-const pointKeySchema = "mrmicro/point/v4" // v4: Config gained ShuffleMemBudget and MergeFactor (reduce-merge knobs)
+const pointKeySchema = "mrmicro/point/v5" // v5: Config gained IOSortMB/SpillPercent/SyncSpill and the sims model spill overlap
 
 // pointKey is the hashed identity of a sweep point. Config is normalized
 // (defaults explicit, Model resolved) before hashing, so every spelling of

@@ -229,6 +229,14 @@ func (b *SortBuffer) Spill() (segs []*Segment, comparisons int64) {
 	}
 
 	idxPool.Put(&idx)
+	b.Reset()
+	return segs, comparisons
+}
+
+// Reset empties the buffer for reuse without releasing its backing arrays
+// (Spill resets implicitly; this covers discarding buffered records, e.g.
+// when a background spill pipeline drains after an error).
+func (b *SortBuffer) Reset() {
 	b.slab = b.slab[:0]
 	b.meta = b.meta[:0]
 	if b.prefixes != nil {
@@ -238,7 +246,6 @@ func (b *SortBuffer) Spill() (segs []*Segment, comparisons int64) {
 		b.partRecs[p] = 0
 		b.partBytes[p] = 0
 	}
-	return segs, comparisons
 }
 
 // spillPartition sorts one partition's record indices and serializes them

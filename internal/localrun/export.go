@@ -133,7 +133,7 @@ func (tr *TaskRunner) RunMap(idx, attempt int, server *ShuffleServer, plan *faul
 		return nil, fmt.Errorf("localrun: map index %d out of range [0, %d)", idx, len(tr.splits))
 	}
 	aid := mapreduce.MapAttempt(tr.jobID, idx, attempt)
-	return runMapTask(tr.job, aid, tr.splits[idx], tr.cmp, tr.numReduces, server, plan, faultCtrs)
+	return runMapTask(tr.job, aid, tr.splits[idx], tr.cmp, tr.numReduces, server, plan, faultCtrs, &spillTimings{})
 }
 
 // RunReduce executes the sort+reduce tail of reduce task r over partition

@@ -120,6 +120,11 @@ type Result struct {
 	// winning reduce attempts: fetch-admission waits, in-memory merges,
 	// disk passes, and the final merge+reduce pass.
 	ReduceMerge ReduceMergeStats
+
+	// MapSpill breaks down the map-side collect/spill pipeline across
+	// winning map attempts: collector stalls, background seal work,
+	// premerges, drain waits, and the final per-map merge.
+	MapSpill MapSpillStats
 }
 
 // Run executes the job to completion and returns its merged counters.
@@ -206,6 +211,7 @@ func Run(job *mapreduce.Job, opts *Options) (*Result, error) {
 	mapCtrs := make([]*mapreduce.Counters, len(splits))
 	redCtrs := make([]*mapreduce.Counters, numReduces)
 	jobTM := &mergeTimings{} // reduce-side merge pipeline totals
+	jobST := &spillTimings{} // map-side collect/spill pipeline totals
 	var firstReduceStart time.Time
 
 	var wg sync.WaitGroup
@@ -221,7 +227,7 @@ func Run(job *mapreduce.Job, opts *Options) (*Result, error) {
 			go func() {
 				defer wg.Done()
 				defer func() { <-mapSlots }()
-				c, err := runMapWithRetry(job, jobID, i, splits[i], cmp, numReduces, server, board, opts.Faults, attempts)
+				c, err := runMapWithRetry(job, jobID, i, splits[i], cmp, numReduces, server, board, opts.Faults, attempts, jobST)
 				mapCtrs[i] = c
 				if err != nil {
 					sched.fail(err)
@@ -277,6 +283,7 @@ func Run(job *mapreduce.Job, opts *Options) (*Result, error) {
 		MapPhase:         lastCommit.Sub(start),
 		ReduceTail:       end.Sub(lastCommit),
 		ReduceMerge:      jobTM.stats(),
+		MapSpill:         jobST.stats(),
 	}
 	if !firstReduceStart.IsZero() && lastCommit.After(firstReduceStart) {
 		res.OverlapWindow = lastCommit.Sub(firstReduceStart)
@@ -380,17 +387,23 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 // published to the completion board so waiting reducers fetch it
 // immediately; a commit after earlier failed attempts re-announces, bumping
 // the board version.
-func runMapWithRetry(job *mapreduce.Job, jobID mapreduce.JobID, idx int, split mapreduce.InputSplit, cmp writable.RawComparator, numReduces int, server *shuffleServer, board *completionBoard, plan *faultinject.Plan, attempts int) (*mapreduce.Counters, error) {
+func runMapWithRetry(job *mapreduce.Job, jobID mapreduce.JobID, idx int, split mapreduce.InputSplit, cmp writable.RawComparator, numReduces int, server *shuffleServer, board *completionBoard, plan *faultinject.Plan, attempts int, jobST *spillTimings) (*mapreduce.Counters, error) {
 	faultCtrs := mapreduce.NewCounters()
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		aid := mapreduce.MapAttempt(jobID, idx, attempt)
-		c, err := runMapTask(job, aid, split, cmp, numReduces, server, plan, faultCtrs)
+		tm := &spillTimings{}
+		c, err := runMapTask(job, aid, split, cmp, numReduces, server, plan, faultCtrs, tm)
 		if err == nil {
 			if board != nil {
 				board.Announce(idx, attempt)
 			}
 			c.Merge(faultCtrs)
+			if jobST != nil {
+				// Only the winning attempt's pipeline work counts, matching
+				// the counter semantics above.
+				jobST.absorb(tm)
+			}
 			return c, nil
 		}
 		lastErr = err
@@ -464,7 +477,12 @@ func reduceTuning(job *mapreduce.Job, opts *Options) (shuffleTuning, error) {
 }
 
 // mapCollector routes mapper output into the sort buffer, spilling as the
-// buffer fills.
+// buffer fills. With a pipe the full buffer is handed to the background
+// spiller and collection continues into a fresh ring buffer; without one
+// (mapreduce.map.spill.overlap=false) the spill runs inline, stalling the
+// collector for its whole duration. Spill boundaries are identical either
+// way: every buffer has the full io.sort.mb capacity and the same ShouldSpill
+// trigger decides when to seal.
 type mapCollector struct {
 	job        *mapreduce.Job
 	part       mapreduce.Partitioner
@@ -475,6 +493,9 @@ type mapCollector struct {
 	spills     [][]*kvbuf.Segment
 	enc        *writable.DataOutput
 	codec      kvbuf.Codec // non-nil: spill segments are stored compressed
+
+	pipe *spillPipeline // non-nil: background spill overlap
+	tm   *spillTimings  // this attempt's pipeline breakdown
 
 	// Fault plumbing: aid names the running attempt, plan injects spill
 	// errors, faultCtrs outlives failed attempts.
@@ -525,40 +546,48 @@ func (mc *mapCollector) spill() error {
 	mc.spillSeq++
 	if mc.plan != nil && mc.plan.SpillError(mc.aid.Task.Index, mc.aid.Attempt, seq) {
 		// A transient I/O error in the spill path kills the attempt; the
-		// re-executed attempt rolls fresh spill decisions.
+		// re-executed attempt rolls fresh spill decisions. The check fires at
+		// seal time in both modes, so fault schedules are mode-independent.
 		mc.faultCtrs.IncrFault(mapreduce.CtrSpillTransientErrors, 1)
 		return faultinject.Errorf("localrun: %s spill %d: transient write error", mc.aid, seq)
 	}
-	segs, _ := mc.buf.Spill()
-	if mc.job.Combiner != nil {
-		for p, seg := range segs {
-			if seg.Records() == 0 {
-				continue
-			}
-			combined, err := combineSegment(mc.job, seg, mc.ctrs)
-			if err != nil {
-				return err
-			}
-			seg.Recycle() // combineSegment copied what it kept
-			segs[p] = combined
-		}
-	}
-	if mc.codec != nil {
-		// Compress at spill time, as Hadoop does: from here on the segment
-		// is stored, merged (via decompress), and shuffled as compressed
-		// bytes.
-		for p, seg := range segs {
-			z := kvbuf.CompressSegmentWith(seg, mc.codec)
-			seg.Recycle()
-			segs[p] = z
-		}
-	}
+	mc.tm.spills.Add(1)
 	mc.ctrs.IncrTask(mapreduce.CtrSpilledRecords, int64(records))
+
+	if mc.pipe != nil {
+		// Background mode: surface any earlier spiller error, hand the full
+		// buffer over, and keep collecting into a fresh ring buffer. The only
+		// stall is Take blocking when every buffer is sealed and unspilled.
+		if err := mc.pipe.firstErr(); err != nil {
+			return err
+		}
+		mc.pipe.jobs <- mc.buf
+		t0 := time.Now()
+		buf, blocked := mc.pipe.ring.Take()
+		if blocked {
+			mc.tm.addCollectStall(time.Since(t0))
+		}
+		mc.buf = buf
+		return nil
+	}
+
+	// Synchronous mode: the whole seal path runs inline on the mapper
+	// goroutine, so the spill's duration is both work and stall.
+	t0 := time.Now()
+	segs, _ := mc.buf.Spill()
+	err := sealSegments(mc.job, segs, mc.codec, mc.ctrs)
+	d := time.Since(t0)
+	mc.tm.addSpillWork(d)
+	mc.tm.addCollectStall(d)
+	if err != nil {
+		recycleSegs(segs)
+		return err
+	}
 	mc.spills = append(mc.spills, segs)
 	return nil
 }
 
-func runMapTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, split mapreduce.InputSplit, cmp writable.RawComparator, numReduces int, server *shuffleServer, plan *faultinject.Plan, faultCtrs *mapreduce.Counters) (*mapreduce.Counters, error) {
+func runMapTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, split mapreduce.InputSplit, cmp writable.RawComparator, numReduces int, server *shuffleServer, plan *faultinject.Plan, faultCtrs *mapreduce.Counters, tm *spillTimings) (*mapreduce.Counters, error) {
 	idx := aid.Task.Index
 	ctrs := mapreduce.NewCounters()
 	rep := &mapreduce.CountersReporter{C: ctrs}
@@ -578,10 +607,25 @@ func runMapTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, split mapreduce
 	if !ok {
 		return ctrs, fmt.Errorf("localrun: unknown map-output codec %q (have %v)", job.Conf.CompressCodec(), kvbuf.CodecNames())
 	}
-	buf := kvbuf.NewSortBuffer(job.Conf.IOSortMB()<<20, numReduces, cmp)
-	defer buf.Release()
-	if pf, ok := writable.PrefixExtractor(job.MapOutputKeyType); ok {
-		buf.SetPrefixFunc(pf)
+	capacity := job.Conf.IOSortMB() << 20
+	factor := job.Conf.IOSortFactor()
+	pf, hasPF := writable.PrefixExtractor(job.MapOutputKeyType)
+
+	// Overlap mode (the default) spills on a background spiller fed from a
+	// buffer ring; sync mode keeps the single-buffer spill-inline path.
+	var pipe *spillPipeline
+	var buf *kvbuf.SortBuffer
+	if job.Conf.SpillOverlap() {
+		pipe = newSpillPipeline(job, cmp, codec, factor, capacity, numReduces, job.Conf.SpillInflight(), tm)
+		if hasPF {
+			pipe.ring.SetPrefixFunc(pf)
+		}
+		buf, _ = pipe.ring.Take()
+	} else {
+		buf = kvbuf.NewSortBuffer(capacity, numReduces, cmp)
+		if hasPF {
+			buf.SetPrefixFunc(pf)
+		}
 	}
 	mc := &mapCollector{
 		job:        job,
@@ -595,7 +639,18 @@ func runMapTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, split mapreduce
 		aid:        aid,
 		plan:       plan,
 		faultCtrs:  faultCtrs,
+		pipe:       pipe,
+		tm:         tm,
 	}
+	drained := false
+	defer func() {
+		if pipe != nil && !drained {
+			pipe.abort()
+		}
+		if mc.buf != nil {
+			mc.buf.Release()
+		}
+	}()
 	mapper := job.Mapper()
 	for {
 		k, v, ok, err := reader.Next()
@@ -616,7 +671,24 @@ func runMapTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, split mapreduce
 	if err := mc.spill(); err != nil {
 		return ctrs, err
 	}
-	if len(mc.spills) == 0 {
+
+	// Collect the attempt's runs: drain the background spiller (overlapping
+	// the tail of collection was its whole point — only the last spills wait
+	// here), or adopt the synchronous spill list as raw runs.
+	var runs []mapRun
+	if pipe != nil {
+		drained = true
+		runs, err = pipe.drain(ctrs)
+		if err != nil {
+			return ctrs, fmt.Errorf("localrun: map %d spill: %w", idx, err)
+		}
+	} else {
+		runs = make([]mapRun, 0, len(mc.spills))
+		for _, segs := range mc.spills {
+			runs = append(runs, mapRun{segs: segs})
+		}
+	}
+	if len(runs) == 0 {
 		// No output at all: publish empty segments so reducers find them.
 		empty := make([]*kvbuf.Segment, numReduces)
 		for p := range empty {
@@ -628,7 +700,7 @@ func runMapTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, split mapreduce
 			}
 			empty[p] = e
 		}
-		mc.spills = append(mc.spills, empty)
+		runs = append(runs, mapRun{segs: empty})
 	}
 
 	// An injected attempt failure strikes during shuffle registration: the
@@ -640,47 +712,48 @@ func runMapTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, split mapreduce
 		abortAt = numReduces / 2
 	}
 
-	// Merge spills per partition into the final map output (multi-pass with
-	// io.sort.factor fan-in when a task spilled many times). Spill segments
+	// Merge runs per partition into the final map output (multi-pass with
+	// io.sort.factor fan-in when a task spilled many times). Raw spill runs
 	// are already combined/compressed per the job conf, so the single-spill
-	// fast path registers them untouched; a multi-spill merge decompresses
-	// the runs, merges, re-combines (the combiner's second chance, as in
-	// Hadoop's merge-side combine), and re-compresses the final output.
-	factor := job.Conf.IOSortFactor()
+	// fast path registers them untouched; otherwise the merge decompresses
+	// the raw runs (premerged blocks are kept uncompressed), merges,
+	// re-combines (the combiner's second chance, as in Hadoop's merge-side
+	// combine), and re-compresses the final output. Because blocks replace
+	// contiguous run ranges and MergeAll's stable positional tie-breaking is
+	// invariant to pass structure, the bytes match the synchronous flat merge.
+	mergeStart := time.Now()
+	single := len(runs) == 1 && !runs[0].merged
 	for p := 0; p < numReduces; p++ {
 		if p == abortAt {
 			return ctrs, faultinject.Errorf("localrun: %s aborted during shuffle registration (%d/%d partitions published)", aid, p, numReduces)
 		}
 		var final *kvbuf.Segment
-		if len(mc.spills) == 1 {
-			final = mc.spills[0][p]
+		if single {
+			final = runs[0].segs[p]
 		} else {
-			parts := make([]*kvbuf.Segment, len(mc.spills))
-			for s := range mc.spills {
-				parts[s] = mc.spills[s][p]
-			}
-			if codec != nil {
-				raw := make([]*kvbuf.Segment, len(parts))
-				for s, z := range parts {
-					d, err := z.Decompress()
-					if err != nil {
-						return ctrs, fmt.Errorf("localrun: map %d spill %d: %w", idx, s, err)
-					}
-					raw[s] = d
+			parts := make([]*kvbuf.Segment, len(runs))
+			for i, run := range runs {
+				if run.merged || codec == nil {
+					parts[i] = run.segs[p]
+					continue
 				}
-				parts = raw
+				d, err := run.segs[p].Decompress()
+				if err != nil {
+					return ctrs, fmt.Errorf("localrun: map %d run %d: %w", idx, i, err)
+				}
+				parts[i] = d
 			}
 			merged, _, err := kvbuf.MergeAll(cmp, parts, factor, 0)
 			if err != nil {
 				return ctrs, fmt.Errorf("localrun: map %d final merge: %w", idx, err)
 			}
 			// The runs' bytes were copied into the merged segment; recycle
-			// the decompression scratch and the spill buffers for reuse.
-			for s := range mc.spills {
-				if codec != nil {
-					parts[s].Recycle()
+			// the decompression scratch and the run buffers for reuse.
+			for i, run := range runs {
+				if !run.merged && codec != nil {
+					parts[i].Recycle()
 				}
-				mc.spills[s][p].Recycle()
+				run.segs[p].Recycle()
 			}
 			final = merged
 			if job.Combiner != nil && final.Records() > 0 {
@@ -701,6 +774,7 @@ func runMapTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, split mapreduce
 			return ctrs, fmt.Errorf("localrun: %s: %w", aid, err)
 		}
 	}
+	tm.addFinalMerge(time.Since(mergeStart))
 	return ctrs, nil
 }
 

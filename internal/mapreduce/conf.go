@@ -40,6 +40,22 @@ const (
 	// 0 = unbounded in the real executor / derive from percent in the
 	// simulated engines.
 	ConfShuffleInputBufBytes = "mapreduce.reduce.shuffle.input.buffer.bytes"
+	// ConfSpillOverlap gates the map side's background SpillThread: when
+	// true (the default, as in Hadoop since MAPREDUCE-64) a spill that
+	// crosses the sort.spill.percent soft limit is sorted, combined,
+	// compressed and sealed on a background spiller while the mapper keeps
+	// collecting into a fresh buffer. false restores the fully synchronous
+	// spill-in-line path. Spill boundaries are identical either way — the
+	// knob moves time, never bytes.
+	ConfSpillOverlap = "mapreduce.map.spill.overlap"
+	// ConfSpillInflight bounds how many sealed-but-unspilled buffers the
+	// background spiller may hold before the collector blocks (backpressure
+	// when collection outruns spilling). Each in-flight spill pins one
+	// io.sort.mb buffer, so the map task's collection memory is
+	// (inflight+1) x io.sort.mb while spills overlap. Default 1: classic
+	// double buffering.
+	ConfSpillInflight = "mapreduce.map.spill.inflight"
+
 	ConfMapSlots           = "mapreduce.tasktracker.map.tasks.maximum"
 	ConfReduceSlots        = "mapreduce.tasktracker.reduce.tasks.maximum"
 	ConfMapMemoryMB        = "mapreduce.map.memory.mb"
@@ -157,6 +173,19 @@ func (c *Conf) IOSortFactor() int { return c.GetInt(ConfIOSortFactor, 10) }
 // SortSpillPercent returns the buffer fill fraction that triggers a spill
 // (default 0.80).
 func (c *Conf) SortSpillPercent() float64 { return c.GetFloat(ConfSortSpillPercent, 0.80) }
+
+// SpillOverlap reports whether map tasks spill on a background spiller
+// overlapped with collection (default true).
+func (c *Conf) SpillOverlap() bool { return c.GetBool(ConfSpillOverlap, true) }
+
+// SpillInflight returns the sealed-buffer bound of the background spiller
+// (default 1: double buffering). Values below 1 clamp to 1.
+func (c *Conf) SpillInflight() int {
+	if n := c.GetInt(ConfSpillInflight, 1); n > 1 {
+		return n
+	}
+	return 1
+}
 
 // ParallelCopies returns the number of concurrent shuffle fetchers per
 // reducer (default 5).

@@ -36,6 +36,9 @@ type Flags struct {
 	copies   int
 	shufMem  string
 	factor   int
+	sortMB   int
+	spillPct float64
+	syncSp   bool
 	slow     float64
 	codec    string
 	combine  bool
@@ -78,6 +81,9 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.copies, "parallelcopies", 0, "concurrent shuffle fetch connections per reduce task (default 5, Hadoop's mapreduce.reduce.shuffle.parallelcopies)")
 	fs.StringVar(&f.shufMem, "shufflemem", "", "reduce-side in-memory shuffle budget, e.g. 64MB (Hadoop's mapreduce.reduce.shuffle.input.buffer in byte form; default unbounded in the real executor, heap-percent in the sims)")
 	fs.IntVar(&f.factor, "mergefactor", 0, "merge fan-in on both sides (default 10, Hadoop's mapreduce.task.io.sort.factor)")
+	fs.IntVar(&f.sortMB, "iosortmb", 0, "map-side sort buffer size in MiB (default 100, Hadoop's mapreduce.task.io.sort.mb)")
+	fs.Float64Var(&f.spillPct, "spillpercent", 0, "sort-buffer fill fraction that triggers a spill (default 0.80, Hadoop's mapreduce.map.sort.spill.percent)")
+	fs.BoolVar(&f.syncSp, "syncspill", false, "disable the background SpillThread: seal every spill inline on the mapper (mapreduce.map.spill.overlap=false)")
 	fs.Float64Var(&f.slow, "slowstart", 0, "completed-map fraction before reducers launch, for both the sim and the real executor (default 0.05, Hadoop's mapreduce.job.reduce.slowstart.completedmaps; 1.0 = strict barrier)")
 	fs.StringVar(&f.codec, "codec", "", "map-output compression codec: none (default) or deflate (Hadoop's mapreduce.map.output.compress.codec)")
 	fs.BoolVar(&f.combine, "combine", false, "run the first-value combiner at spill and merge (map-side aggregation)")
@@ -117,6 +123,9 @@ func (f *Flags) Config() (Config, error) {
 		RDMAShuffle:    f.rdma,
 		ParallelCopies: f.copies,
 		MergeFactor:    f.factor,
+		IOSortMB:       f.sortMB,
+		SpillPercent:   f.spillPct,
+		SyncSpill:      f.syncSp,
 		Slowstart:      f.slow,
 		Codec:          f.codec,
 		Combine:        f.combine,
@@ -203,6 +212,15 @@ func (c Config) ReproFlags() []string {
 	}
 	if c.MergeFactor > 0 {
 		args = append(args, "-mergefactor", strconv.Itoa(c.MergeFactor))
+	}
+	if c.IOSortMB > 0 {
+		args = append(args, "-iosortmb", strconv.Itoa(c.IOSortMB))
+	}
+	if c.SpillPercent > 0 {
+		args = append(args, "-spillpercent", formatFloat(c.SpillPercent))
+	}
+	if c.SyncSpill {
+		args = append(args, "-syncspill")
 	}
 	if c.Codec != "" && c.Codec != "none" {
 		args = append(args, "-codec", c.Codec)

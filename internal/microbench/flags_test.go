@@ -38,6 +38,18 @@ func TestReproRoundTrip(t *testing.T) {
 				RDMAShuffle:      true,
 				Slaves:           8,
 				Seed:             99,
+				IOSortMB:         2,
+				SpillPercent:     0.67,
+				SyncSpill:        true,
+			},
+		},
+		{
+			name: "spill ladder point",
+			cfg: Config{
+				Pattern:      MRAvg,
+				PairsPerMap:  200,
+				IOSortMB:     1,
+				SpillPercent: 0.5,
 			},
 		},
 		{

@@ -74,11 +74,14 @@ func Generate(seed int64, i int, opts GenOptions) microbench.Config {
 		Combine: rng.Intn(3) == 0,
 	}
 
-	// Occasionally force tiny sort buffers / merge fan-in so multi-spill and
-	// on-disk merge paths run, not just the single-spill fast path.
+	// Occasionally force tiny sort buffers / merge fan-in / early spill
+	// thresholds so multi-spill, premerge-block, and on-disk merge paths run,
+	// not just the single-spill fast path. Tiny factors against many spills
+	// are what drive the background premerge and its adjacency argument.
 	if rng.Intn(3) == 0 {
+		cfg.IOSortMB = []int{1, 1, 2}[rng.Intn(3)]
+		cfg.SpillPercent = []float64{0, 0.3, 0.5, 0.8}[rng.Intn(4)]
 		cfg.ExtraConf = map[string]string{
-			"mapreduce.task.io.sort.mb":     pickOne(rng, "1", "1", "2"),
 			"mapreduce.task.io.sort.factor": pickOne(rng, "2", "3", "4"),
 		}
 	}

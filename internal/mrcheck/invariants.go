@@ -293,6 +293,31 @@ func CheckConfig(cfg microbench.Config, opts CheckOptions) error {
 		}
 	}
 
+	// Invariant: the background SpillThread moves time, never bytes — a
+	// synchronous-spill twin (mapreduce.map.spill.overlap=false) must produce
+	// a byte-identical output digest and the same counters. Spill boundaries
+	// are a pure function of the record stream and the conf (every ring
+	// buffer has the full io.sort.mb capacity under the same ShouldSpill
+	// trigger), so even SPILLED_RECORDS must match exactly — except under a
+	// bounded reduce budget, where reduce-side spilling is timing-dependent
+	// and the counter is excluded as usual.
+	if !cfg.SyncSpill {
+		scfg := cfg
+		scfg.SyncSpill = true
+		syncRun, err := runLocal(scfg, false, opts.MutateJob)
+		if err != nil {
+			return err
+		}
+		if syncRun.digest != clean.digest {
+			return &Failure{cfg, "spill-identity/output",
+				"reduce output with the background SpillThread is not byte-identical to synchronous spilling"}
+		}
+		if got, want := identityCounters(clean.counters, bounded), identityCounters(syncRun.counters, bounded); got != want {
+			return &Failure{cfg, "spill-identity/counters", fmt.Sprintf(
+				"counters differ across spill overlap modes:\nasync:\n%s\nsync:\n%s", got, want)}
+		}
+	}
+
 	// Invariant: recovery equivalence — the same job under its injected fault
 	// plan must produce the clean run's output and task counters exactly.
 	if cfg.Faults != nil {

@@ -2,6 +2,7 @@ package mrsim
 
 import (
 	"mrmicro/internal/cluster"
+	"mrmicro/internal/costmodel"
 	"mrmicro/internal/kvbuf"
 	"mrmicro/internal/mapreduce"
 	"mrmicro/internal/sim"
@@ -41,84 +42,69 @@ func (js *JobState) RunMapTask(p *sim.Proc, node *cluster.Node, idx int, onDone 
 		}
 		return
 	}
-	node.Compute(p, cpu)
-
-	// Map-side combine: every collected record is pushed through the
-	// combiner at spill time; what survives is the post-combine matrix.
+	// Combine and codec CPU shares (the post-combine matrix is what spills,
+	// merges, and the shuffle move).
 	outRecs, outBytes := records, bytes
+	combineCPU := 0.0
 	if spec.Combining() {
-		node.Compute(p, float64(records)*m.CombineRecordCPU*spec.TypeFactor)
+		combineCPU = float64(records) * m.CombineRecordCPU * spec.TypeFactor
 		outRecs = spec.MapShuffleRecords(idx)
 		outBytes = spec.MapShuffleBytes(idx)
 	}
-
-	// Intermediate compression: spills, merges and the shuffle all move
-	// wf*outBytes; the codec charges CPU per raw (post-combine) byte.
 	wf := js.WireFactor()
+	compressCPU := 0.0
 	if wf < 1 {
-		node.Compute(p, float64(outBytes)*m.CompressCPU)
+		compressCPU = float64(outBytes) * m.CompressCPU
 	}
 
 	// Sort + spill: the buffer fills with raw collect output (combining
 	// happens on the way out), so the spill count follows pre-combine bytes
-	// while each spill writes its combined share.
-	spillBytes := int64(float64(int64(spec.Conf.IOSortMB())<<20) * spec.Conf.SortSpillPercent())
-	if spillBytes <= 0 {
-		spillBytes = 1
-	}
+	// while each spill writes its combined share. Both engines derive the
+	// trigger from the shared cost-model formula.
+	spillBytes := costmodel.SpillTriggerBytes(spec.Conf)
 	numSpills := int((bytes + spillBytes - 1) / spillBytes)
 	if numSpills < 1 {
 		numSpills = 1
 	}
 	recsPerSpill := outRecs / int64(numSpills)
 	bytesPerSpill := outBytes / int64(numSpills)
+	factor := spec.Conf.IOSortFactor()
 	eager := spec.Shuffle != nil && spec.Shuffle.EagerSpills()
 	// With speculation, only one attempt may feed the spill stream.
 	publisher := eager && !js.spillClaimed(idx)
-	for s := 0; s < numSpills; s++ {
-		node.Compute(p, m.SortCPU(recsPerSpill)*spec.TypeFactor)
-		if w := int64(float64(bytesPerSpill) * wf); w > 0 {
-			node.Store.Write(p, w)
-		}
-		if publisher {
-			js.PublishSpill(idx, s, numSpills, node.Index)
-		}
-	}
 
-	// Merge spills into the single map output file (skipped for one spill:
-	// Hadoop renames it in place, and skipped entirely for eager-spill
-	// shuffles, which serve the raw spills).
-	if numSpills > 1 && !eager {
-		factor := spec.Conf.IOSortFactor()
-		remaining := numSpills
-		for _, take := range kvbuf.MergePasses(numSpills, factor) {
-			passBytes := bytesPerSpill * int64(take)
-			passRecs := recsPerSpill * int64(take)
-			passWire := int64(float64(passBytes) * wf)
-			node.Store.Read(p, passWire)
-			codec := 0.0
-			if wf < 1 {
-				codec = float64(passBytes) * (m.DecompressCPU + m.CompressCPU)
+	if spec.Conf.SpillOverlap() && numSpills > 1 {
+		// Background SpillThread: collection and spilling run as separate
+		// procs contending for the node's cores, so the overlap win appears
+		// only where spare cores exist — a 1-core node serializes them.
+		js.runMapSpillsOverlapped(p, node, idx, cpu+combineCPU+compressCPU,
+			recsPerSpill, bytesPerSpill, outRecs, outBytes, numSpills, factor, wf, eager, publisher)
+	} else {
+		// Synchronous path: every spill stalls the mapper for its full
+		// sort+write, then the multi-pass merge runs after the last spill.
+		node.Compute(p, cpu)
+		if combineCPU > 0 {
+			node.Compute(p, combineCPU)
+		}
+		if compressCPU > 0 {
+			node.Compute(p, compressCPU)
+		}
+		for s := 0; s < numSpills; s++ {
+			node.Compute(p, m.SortCPU(recsPerSpill)*spec.TypeFactor)
+			if w := int64(float64(bytesPerSpill) * wf); w > 0 {
+				node.Store.Write(p, w)
 			}
-			node.Compute(p, m.MergeCPU(passRecs, take)+float64(passBytes)*m.MergeByteCPU+codec)
-			node.Store.Write(p, passWire)
-			node.Store.Delete(passWire) // merged pass inputs removed
-			remaining = remaining - take + 1
+			if publisher {
+				js.PublishSpill(idx, s, numSpills, node.Index)
+			}
 		}
-		// Final pass writes the single output file and removes the spills.
-		wireAll := int64(float64(outBytes) * wf)
-		node.Store.Read(p, wireAll)
-		codec := 0.0
-		if wf < 1 {
-			codec = float64(outBytes) * (m.DecompressCPU + m.CompressCPU)
+
+		// Merge spills into the single map output file (skipped for one
+		// spill: Hadoop renames it in place, and skipped entirely for
+		// eager-spill shuffles, which serve the raw spills).
+		if numSpills > 1 && !eager {
+			js.mapFinalMerge(p, node, numSpills, factor, recsPerSpill, bytesPerSpill, outRecs, outBytes, wf)
 		}
-		if spec.Combining() {
-			// The merge-side combine pass touches every surviving record.
-			node.Compute(p, float64(outRecs)*m.CombineRecordCPU*spec.TypeFactor)
-		}
-		node.Compute(p, m.MergeCPU(outRecs, remaining)+float64(outBytes)*m.MergeByteCPU+codec)
-		node.Store.Write(p, wireAll)
-		node.Store.Delete(wireAll)
 	}
 
 	js.logTask(TaskEvent{Type: mapreduce.TaskMap, Index: idx, Attempt: attempt, Node: node.Index, Start: started, End: p.Now(), Succeeded: true})
@@ -143,6 +129,131 @@ func (js *JobState) RunMapTask(p *sim.Proc, node *cluster.Node, idx int, onDone 
 	}
 	js.MapCompletion.Broadcast()
 	js.AllDone.Done()
+}
+
+// mapFinalMerge charges the multi-pass merge of fanIn runs into the single
+// map output file: intermediate passes while fanIn exceeds io.sort.factor,
+// then the final pass (with the combiner's second chance) that writes the
+// output and removes the runs. unit sizes are per-run averages.
+func (js *JobState) mapFinalMerge(p *sim.Proc, node *cluster.Node, fanIn, factor int, unitRecs, unitBytes, outRecs, outBytes int64, wf float64) {
+	m := js.Model
+	spec := js.Spec
+	remaining := fanIn
+	for _, take := range kvbuf.MergePasses(fanIn, factor) {
+		passBytes := unitBytes * int64(take)
+		passRecs := unitRecs * int64(take)
+		passWire := int64(float64(passBytes) * wf)
+		node.Store.Read(p, passWire)
+		codec := 0.0
+		if wf < 1 {
+			codec = float64(passBytes) * (m.DecompressCPU + m.CompressCPU)
+		}
+		node.Compute(p, m.MergeCPU(passRecs, take)+float64(passBytes)*m.MergeByteCPU+codec)
+		node.Store.Write(p, passWire)
+		node.Store.Delete(passWire) // merged pass inputs removed
+		remaining = remaining - take + 1
+	}
+	// Final pass writes the single output file and removes the spills.
+	wireAll := int64(float64(outBytes) * wf)
+	node.Store.Read(p, wireAll)
+	codec := 0.0
+	if wf < 1 {
+		codec = float64(outBytes) * (m.DecompressCPU + m.CompressCPU)
+	}
+	if spec.Combining() {
+		// The merge-side combine pass touches every surviving record.
+		node.Compute(p, float64(outRecs)*m.CombineRecordCPU*spec.TypeFactor)
+	}
+	node.Compute(p, m.MergeCPU(outRecs, remaining)+float64(outBytes)*m.MergeByteCPU+codec)
+	node.Store.Write(p, wireAll)
+	node.Store.Delete(wireAll)
+}
+
+// runMapSpillsOverlapped models the background-SpillThread map task: the
+// mapper proc charges collection CPU in per-spill chunks and enqueues each
+// sealed buffer for a spiller proc (bounded by mapreduce.map.spill.inflight,
+// blocking when collection outruns spilling — the collect stall), while the
+// spiller sorts, writes, publishes, and premerges every io.sort.factor
+// completed spills into one block. Both procs contend for the node's cores,
+// so the wall-clock win is the idle-core overlap, not free work. The bytes
+// moved and total CPU charged are identical to the synchronous path — the
+// knob moves time, never modelled data.
+func (js *JobState) runMapSpillsOverlapped(p *sim.Proc, node *cluster.Node, idx int, collectCPU float64, recsPerSpill, bytesPerSpill, outRecs, outBytes int64, numSpills, factor int, wf float64, eager, publisher bool) {
+	m := js.Model
+	spec := js.Spec
+	inflight := spec.Conf.SpillInflight()
+
+	queued := 0
+	closed := false
+	cond := sim.NewCond()
+	var wg sim.WaitGroup
+	wg.Add(1)
+
+	// Fan-in bookkeeping: premerged blocks plus the trailing raw runs are
+	// what the mapper's final pass merges. Read only after wg.Wait.
+	blocks, rawTail := 0, 0
+	js.Cluster.Engine().Go(spec.Name+"/spiller", func(sp *sim.Proc) {
+		defer wg.Done()
+		done := 0
+		for {
+			for queued == 0 && !closed {
+				cond.Wait(sp)
+			}
+			if queued == 0 {
+				return
+			}
+			queued--
+			cond.Broadcast()
+			node.Compute(sp, m.SortCPU(recsPerSpill)*spec.TypeFactor)
+			if w := int64(float64(bytesPerSpill) * wf); w > 0 {
+				node.Store.Write(sp, w)
+			}
+			if publisher {
+				js.PublishSpill(idx, done, numSpills, node.Index)
+			}
+			done++
+			rawTail++
+			if !eager && rawTail == factor && factor >= 2 && done < numSpills {
+				// Premerge the trailing factor raw runs into one block while
+				// the mapper keeps collecting — the overlapped share of the
+				// final merge.
+				passBytes := bytesPerSpill * int64(factor)
+				passRecs := recsPerSpill * int64(factor)
+				passWire := int64(float64(passBytes) * wf)
+				node.Store.Read(sp, passWire)
+				codec := 0.0
+				if wf < 1 {
+					codec = float64(passBytes) * (m.DecompressCPU + m.CompressCPU)
+				}
+				node.Compute(sp, m.MergeCPU(passRecs, factor)+float64(passBytes)*m.MergeByteCPU+codec)
+				node.Store.Write(sp, passWire)
+				node.Store.Delete(passWire)
+				blocks++
+				rawTail = 0
+			}
+		}
+	})
+
+	perSpillCollect := collectCPU / float64(numSpills)
+	for s := 0; s < numSpills; s++ {
+		node.Compute(p, perSpillCollect)
+		for queued >= inflight {
+			cond.Wait(p) // backpressure: every ring buffer sealed and unspilled
+		}
+		queued++
+		cond.Broadcast()
+	}
+	closed = true
+	cond.Broadcast()
+	wg.Wait(p) // drain: only the tail spills expose their latency
+
+	if !eager {
+		fanIn := blocks + rawTail
+		if fanIn < 1 {
+			fanIn = 1
+		}
+		js.mapFinalMerge(p, node, fanIn, factor, outRecs/int64(fanIn), outBytes/int64(fanIn), outRecs, outBytes, wf)
+	}
 }
 
 // spillClaimed marks idx's spill stream as owned by the calling attempt;
