@@ -17,15 +17,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
 
 	"mrmicro/internal/distrun"
+	"mrmicro/internal/inputformat"
 	"mrmicro/internal/localrun"
 	"mrmicro/internal/mapreduce"
 	"mrmicro/internal/metrics"
 	"mrmicro/internal/microbench"
+	"mrmicro/internal/mrpipe"
 )
 
 func main() {
@@ -33,17 +36,18 @@ func main() {
 
 	shared := microbench.BindFlags(flag.CommandLine)
 	var (
-		monitor = flag.Bool("monitor", false, "collect per-second resource utilization")
-		tasklog = flag.Bool("tasklog", false, "print the per-task-attempt timeline (Gantt)")
-		traceF  = flag.String("trace", "", "write a Chrome trace-event JSON of the job to this file")
-		local   = flag.Bool("local", false, "execute for real in-process (small scale) instead of simulating")
-		diskSh  = flag.Bool("diskshuffle", false, "store committed map outputs in spill files, served via sendfile (-local; default: retained buffers + writev)")
-		benchF  = flag.String("bench-json", "", "write machine-readable local-execution throughput results to this file (implies -local)")
-		benchN  = flag.Int("bench-reps", 5, "repetitions per configuration for -bench-json medians")
-		workers = flag.Int("workers", 2, "worker processes for -engine=dist")
-		specAft = flag.Duration("speculative", 0, "speculate a duplicate attempt after a task runs this long without committing (-engine=dist; 0 disables)")
-		respawn = flag.Bool("respawn", true, "restart dist worker processes that die abnormally")
-		walPath = flag.String("wal", "", "write-ahead task log path for -engine=dist (empty: no log)")
+		monitor  = flag.Bool("monitor", false, "collect per-second resource utilization")
+		tasklog  = flag.Bool("tasklog", false, "print the per-task-attempt timeline (Gantt)")
+		traceF   = flag.String("trace", "", "write a Chrome trace-event JSON of the job to this file")
+		local    = flag.Bool("local", false, "execute for real in-process (small scale) instead of simulating")
+		diskSh   = flag.Bool("diskshuffle", false, "store committed map outputs in spill files, served via sendfile (-local; default: retained buffers + writev)")
+		benchF   = flag.String("bench-json", "", "write machine-readable local-execution throughput results to this file (implies -local)")
+		benchN   = flag.Int("bench-reps", 5, "repetitions per configuration for -bench-json medians")
+		workers  = flag.Int("workers", 2, "worker processes for -engine=dist")
+		specAft  = flag.Duration("speculative", 0, "speculate a duplicate attempt after a task runs this long without committing (-engine=dist; 0 disables)")
+		respawn  = flag.Bool("respawn", true, "restart dist worker processes that die abnormally")
+		walPath  = flag.String("wal", "", "write-ahead task log path for -engine=dist (empty: no log)")
+		pipeline = flag.String("pipeline", "", `run a chained-job pipeline instead of a single job ("hs": HSGen -> HSSort -> HSValidate; -engine=dist runs the reduce stages distributed)`)
 	)
 	flag.Parse()
 
@@ -54,7 +58,11 @@ func main() {
 	if *monitor {
 		cfg.MonitorInterval = time.Second
 	}
-	if cfg.PairsPerMap <= 0 {
+	if *pipeline != "" {
+		runPipeline(*pipeline, cfg, *workers)
+		return
+	}
+	if cfg.PairsPerMap <= 0 && cfg.Workload == "" {
 		fatal(fmt.Errorf("specify -size or -pairs"))
 	}
 
@@ -91,6 +99,42 @@ func main() {
 		}
 		fmt.Printf("\nwrote Chrome trace to %s (open in chrome://tracing or Perfetto)\n", *traceF)
 	}
+}
+
+// runPipeline executes a named chained-job pipeline: each stage's committed
+// output directory feeds the next stage's splits, and the final stage is a
+// checker whose job failure is the pipeline's failure.
+func runPipeline(name string, cfg microbench.Config, workers int) {
+	if name != "hs" {
+		fatal(fmt.Errorf("unknown pipeline %q (have: hs)", name))
+	}
+	workDir := cfg.OutputDir
+	cfg.OutputDir = "" // per-stage dirs are carved under workDir
+	if workDir == "" {
+		var err error
+		if workDir, err = os.MkdirTemp("", "mrmicro-hs-*"); err != nil {
+			fatal(err)
+		}
+	}
+	opts := &mrpipe.Options{Dist: cfg.Engine == microbench.EngineDist, Workers: workers}
+	engine := "localrun"
+	if opts.Dist {
+		engine = fmt.Sprintf("distrun, %d workers", workers)
+	}
+	results, err := mrpipe.RunHS(cfg, workDir, opts)
+	for _, r := range results {
+		fmt.Printf("stage %-10s %4dM/%dR  wall %-10v output %016x  %s\n",
+			r.Name, r.NumMaps, r.NumReduces, r.Elapsed.Round(time.Millisecond), r.OutputDigest, r.Config.OutputDir)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	last := results[len(results)-1]
+	verdict, rerr := os.ReadFile(filepath.Join(last.Config.OutputDir, inputformat.PartName(0)))
+	if rerr != nil {
+		fatal(fmt.Errorf("reading validate verdict: %w", rerr))
+	}
+	fmt.Printf("=== HS pipeline PASSED (%s) ===\n%s", engine, verdict)
 }
 
 // localOnce builds and executes one real run of cfg, returning the result
@@ -143,7 +187,11 @@ func runDist(cfg microbench.Config, opts *distrun.Options) {
 
 func runLocal(cfg microbench.Config, disk bool, benchPath string, reps int) {
 	res, elapsed := localOnce(cfg, disk)
-	fmt.Printf("=== %s micro-benchmark (REAL execution via localrun) ===\n", cfg.Pattern)
+	name := string(cfg.Pattern) + " micro-benchmark"
+	if cfg.Workload != "" {
+		name = cfg.Workload + " workload"
+	}
+	fmt.Printf("=== %s (REAL execution via localrun) ===\n", name)
 	fmt.Printf("maps/reduces        %d / %d\n", res.NumMaps, res.NumReduces)
 	fmt.Printf("wall time           %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("  map phase         %v (to last map commit)\n", res.MapPhase.Round(time.Millisecond))
@@ -233,12 +281,12 @@ type benchResults struct {
 // background SpillThread's win — or its absence on a saturated host — is a
 // single attributable number next to the config's cpus field.
 type benchMapSpill struct {
-	CollectStallMS float64 `json:"collect_stall_ms"`   // mapper blocked on spilling
-	SpillWorkMS    float64 `json:"spill_work_ms"`      // sort+combine+codec seal time
-	SpillOverlapMS float64 `json:"spill_overlap_ms"`   // seal+premerge work hidden under collection
-	PremergeMS     float64 `json:"premerge_ms"`        // background block premerges
-	DrainWaitMS    float64 `json:"drain_wait_ms"`      // mapper waiting for the last spills
-	FinalMergeMS   float64 `json:"final_merge_ms"`     // per-map final merge + registration
+	CollectStallMS float64 `json:"collect_stall_ms"` // mapper blocked on spilling
+	SpillWorkMS    float64 `json:"spill_work_ms"`    // sort+combine+codec seal time
+	SpillOverlapMS float64 `json:"spill_overlap_ms"` // seal+premerge work hidden under collection
+	PremergeMS     float64 `json:"premerge_ms"`      // background block premerges
+	DrainWaitMS    float64 `json:"drain_wait_ms"`    // mapper waiting for the last spills
+	FinalMergeMS   float64 `json:"final_merge_ms"`   // per-map final merge + registration
 	Spills         int64   `json:"spills"`
 	AsyncSpills    int64   `json:"async_spills"`
 	PremergedRuns  int64   `json:"premerged_runs"`

@@ -1,0 +1,367 @@
+package apps
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"mrmicro/internal/inputformat"
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/writable"
+)
+
+// The TPCx-HS-style pipeline: HSGen deterministically synthesizes rows
+// (teragen-shaped: a 10-char random key, a tab, a 36-char payload carrying
+// the row id), HSSort total-order-sorts them, HSValidate proves the sorted
+// output is a permutation of the generated rows in globally ascending key
+// order — failing the job loudly on any ordering or digest violation.
+
+// Conf keys the validate stage reads its expectations from. They ride a
+// config's ExtraConf, so repro flags carry them to distrun workers intact.
+const (
+	ConfHSRows = "mrmicro.hs.rows" // total generated rows
+	ConfHSSeed = "mrmicro.hs.seed" // generator seed
+)
+
+const hsKeyLen = 10
+
+// hsAlphabet: 64 printable chars, no tab/newline/space, single-byte — so
+// lexicographic byte order (what CompareText and the raw sort use) is the
+// row key order and keys embed safely in space-separated summaries.
+const hsAlphabet = "+/0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+func hsMix(seed, n int64) uint64 {
+	z := uint64(seed) ^ uint64(n)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4B9B1
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// HSRowKey is row n's 10-char sort key.
+func HSRowKey(seed, row int64) string {
+	r := hsMix(seed, 2*row)
+	key := make([]byte, hsKeyLen)
+	for i := range key {
+		key[i] = hsAlphabet[r&63]
+		r >>= 6
+	}
+	// 10 chars need 60 bits; the top nibble recycles mixed low bits.
+	return string(key)
+}
+
+// HSRowValue is row n's payload: the row id (the permutation witness) plus
+// 16 hex filler chars.
+func HSRowValue(seed, row int64) string {
+	return fmt.Sprintf("%020d%016x", row, hsMix(seed, 2*row+1))
+}
+
+// HSLine renders row n as it appears on disk (no terminator).
+func HSLine(seed, row int64) string {
+	return HSRowKey(seed, row) + "\t" + HSRowValue(seed, row)
+}
+
+// HSRowDigest hashes one row's line.
+func HSRowDigest(line []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(line)
+	return h.Sum64()
+}
+
+// HSDigest is the order-insensitive dataset digest: the wrapping sum of the
+// per-row digests. Any process can recompute it from (seed, rows) alone,
+// which is how HSValidate knows what the sorted output must add up to.
+func HSDigest(seed, rows int64) uint64 {
+	var sum uint64
+	for i := int64(0); i < rows; i++ {
+		sum += HSRowDigest([]byte(HSLine(seed, i)))
+	}
+	return sum
+}
+
+// RowInput carves a synthetic row range into one split per map: split m
+// covers rows [m·RowsPerMap, (m+1)·RowsPerMap). Records are (LongWritable
+// row id, NullWritable) — HSGen's mapper renders the actual row.
+type RowInput struct {
+	Maps       int
+	RowsPerMap int64
+}
+
+type rowSplit struct{ start, count int64 }
+
+func (s *rowSplit) Length() int64 { return 0 }
+
+func (in *RowInput) Splits(*mapreduce.Conf) ([]mapreduce.InputSplit, error) {
+	if in.Maps < 1 || in.RowsPerMap < 1 {
+		return nil, errf("RowInput needs positive maps and rows per map")
+	}
+	splits := make([]mapreduce.InputSplit, in.Maps)
+	for m := range splits {
+		splits[m] = &rowSplit{start: int64(m) * in.RowsPerMap, count: in.RowsPerMap}
+	}
+	return splits, nil
+}
+
+func (in *RowInput) Reader(split mapreduce.InputSplit, _ *mapreduce.Conf) (mapreduce.RecordReader, error) {
+	s, ok := split.(*rowSplit)
+	if !ok {
+		return nil, errf("RowInput got foreign split %T", split)
+	}
+	return &rowReader{next: s.start, end: s.start + s.count}, nil
+}
+
+type rowReader struct {
+	next, end int64
+	key       writable.LongWritable
+}
+
+func (r *rowReader) Next() (writable.Writable, writable.Writable, bool, error) {
+	if r.next >= r.end {
+		return nil, nil, false, nil
+	}
+	r.key.Value = r.next
+	r.next++
+	return &r.key, writable.NullWritable{}, true, nil
+}
+
+func (r *rowReader) Close() error { return nil }
+
+// HSGenMapper renders (key, payload) for each row id. Map-only: the job's
+// output commits one part file per map, rows in id order.
+type HSGenMapper struct {
+	Seed int64
+}
+
+func (m *HSGenMapper) Map(key, _ writable.Writable, out mapreduce.Collector, _ mapreduce.Reporter) error {
+	row := key.(*writable.LongWritable).Value
+	return out.Collect(writable.NewText(HSRowKey(m.Seed, row)), writable.NewText(HSRowValue(m.Seed, row)))
+}
+
+func (m *HSGenMapper) Close(mapreduce.Collector, mapreduce.Reporter) error { return nil }
+
+// HSSortMapper splits each generated line at its tab into (key, payload).
+// The job's total-order partitioner plus the engines' sorted merge do the
+// actual sorting; the identity reducer writes rows back out.
+type HSSortMapper struct{}
+
+func (HSSortMapper) Map(_, value writable.Writable, out mapreduce.Collector, _ mapreduce.Reporter) error {
+	line := value.(*writable.Text).Data
+	i := bytes.IndexByte(line, '\t')
+	if i < 0 {
+		return errf("hssort: record without tab separator: %q", line)
+	}
+	return out.Collect(&writable.Text{Data: append([]byte(nil), line[:i]...)},
+		&writable.Text{Data: append([]byte(nil), line[i+1:]...)})
+}
+
+func (HSSortMapper) Close(mapreduce.Collector, mapreduce.Reporter) error { return nil }
+
+// HSIdentityReducer emits every (key, value) unchanged.
+type HSIdentityReducer struct{}
+
+func (HSIdentityReducer) Reduce(key writable.Writable, values mapreduce.ValueIterator, out mapreduce.Collector, _ mapreduce.Reporter) error {
+	k := key.(*writable.Text)
+	for {
+		v, ok := values.Next()
+		if !ok {
+			return nil
+		}
+		vt := v.(*writable.Text)
+		if err := out.Collect(&writable.Text{Data: append([]byte(nil), k.Data...)},
+			&writable.Text{Data: append([]byte(nil), vt.Data...)}); err != nil {
+			return err
+		}
+	}
+}
+
+func (HSIdentityReducer) Close(mapreduce.Collector, mapreduce.Reporter) error { return nil }
+
+// HSKeySampleFormat adapts sorted-input sampling: it wraps the stage's text
+// input but yields the HS key as the record key, so
+// mapreduce.SampleSplitPoints draws cut points in the map-output key space.
+type HSKeySampleFormat struct {
+	Inner mapreduce.InputFormat
+}
+
+func (f *HSKeySampleFormat) Splits(conf *mapreduce.Conf) ([]mapreduce.InputSplit, error) {
+	return f.Inner.Splits(conf)
+}
+
+func (f *HSKeySampleFormat) Reader(split mapreduce.InputSplit, conf *mapreduce.Conf) (mapreduce.RecordReader, error) {
+	r, err := f.Inner.Reader(split, conf)
+	if err != nil {
+		return nil, err
+	}
+	return &hsKeyReader{inner: r}, nil
+}
+
+type hsKeyReader struct {
+	inner mapreduce.RecordReader
+	key   writable.Text
+}
+
+func (r *hsKeyReader) Next() (writable.Writable, writable.Writable, bool, error) {
+	_, v, ok, err := r.inner.Next()
+	if !ok || err != nil {
+		return nil, nil, false, err
+	}
+	line := v.(*writable.Text).Data
+	if i := bytes.IndexByte(line, '\t'); i >= 0 {
+		line = line[:i]
+	}
+	r.key.Data = line
+	return &r.key, writable.NullWritable{}, true, nil
+}
+
+func (r *hsKeyReader) Close() error { return r.inner.Close() }
+
+// HSValidateMapper checks one split's rows are internally sorted and
+// summarizes them: (first key, last key, row count, digest sum), keyed by
+// the split's first corpus-global offset so the single reducer receives
+// summaries in concatenation order. An out-of-order row fails the map task
+// — and therefore the job — immediately.
+type HSValidateMapper struct {
+	firstOffset int64
+	first, last []byte
+	count       int64
+	sum         uint64
+}
+
+func (m *HSValidateMapper) Map(key, value writable.Writable, _ mapreduce.Collector, _ mapreduce.Reporter) error {
+	line := value.(*writable.Text).Data
+	i := bytes.IndexByte(line, '\t')
+	if i < 0 {
+		return errf("hsvalidate: record without tab separator: %q", line)
+	}
+	k := line[:i]
+	if m.count == 0 {
+		m.firstOffset = key.(*writable.LongWritable).Value
+		m.first = append([]byte(nil), k...)
+	} else if bytes.Compare(m.last, k) > 0 {
+		return errf("hsvalidate: rows out of order at offset %d: %q after %q",
+			key.(*writable.LongWritable).Value, k, m.last)
+	}
+	m.last = append(m.last[:0], k...)
+	m.count++
+	m.sum += HSRowDigest(line)
+	return nil
+}
+
+func (m *HSValidateMapper) Close(out mapreduce.Collector, _ mapreduce.Reporter) error {
+	if m.count == 0 {
+		return nil
+	}
+	summary := fmt.Sprintf("%s %s %d %d", m.first, m.last, m.count, m.sum)
+	return out.Collect(writable.NewText(fmt.Sprintf("%024d", m.firstOffset)), writable.NewText(summary))
+}
+
+// HSValidateReducer (always a single reduce task) walks the split summaries
+// in ascending offset order, proving the cross-split and cross-part key
+// chain ascends and the totals match the generator: exactly Rows rows whose
+// digests sum to HSDigest(Seed, Rows). Any violation is a job failure.
+type HSValidateReducer struct {
+	Rows int64
+	Seed int64
+
+	prevLast []byte
+	total    int64
+	sum      uint64
+	parts    int
+}
+
+func (r *HSValidateReducer) Reduce(key writable.Writable, values mapreduce.ValueIterator, _ mapreduce.Collector, _ mapreduce.Reporter) error {
+	for {
+		v, ok := values.Next()
+		if !ok {
+			return nil
+		}
+		var first, last string
+		var count int64
+		var sum uint64
+		if _, err := fmt.Sscanf(string(v.(*writable.Text).Data), "%s %s %d %d", &first, &last, &count, &sum); err != nil {
+			return errf("hsvalidate: malformed summary %q: %v", v.(*writable.Text).Data, err)
+		}
+		if r.parts > 0 && bytes.Compare(r.prevLast, []byte(first)) > 0 {
+			return errf("hsvalidate: ordering violation across split boundary %s: %q after %q",
+				inputformat.Render(key), first, r.prevLast)
+		}
+		r.prevLast = []byte(last)
+		r.total += count
+		r.sum += sum
+		r.parts++
+	}
+}
+
+func (r *HSValidateReducer) Close(out mapreduce.Collector, _ mapreduce.Reporter) error {
+	if r.total != r.Rows {
+		return errf("hsvalidate: %d rows in sorted output, generator wrote %d", r.total, r.Rows)
+	}
+	if want := HSDigest(r.Seed, r.Rows); r.sum != want {
+		return errf("hsvalidate: digest sum %016x != generated %016x (rows corrupted or substituted)", r.sum, want)
+	}
+	return out.Collect(writable.NewText("hsvalidate"),
+		writable.NewText(fmt.Sprintf("ok rows=%d splits=%d digest=%016x", r.total, r.parts, r.sum)))
+}
+
+// The "hs:" input scheme materializes HSGen's exact output without running
+// the job: file m holds rows [m·rows, (m+1)·rows) in id order, named like a
+// committed part. mrcheck's chained-pipeline invariant leans on the
+// byte-identity: sorting a chained gen-stage output directory and sorting
+// an "hs:" materialization of the same (seed, maps, rows) must digest
+// equally.
+func init() {
+	inputformat.RegisterScheme("hs", func(params, dir string) error {
+		var seed, rows int64
+		maps := 0
+		err := parseParams(params, map[string]func(string) error{
+			"seed": func(v string) (err error) { seed, err = strconv.ParseInt(v, 10, 64); return },
+			"maps": func(v string) (err error) { maps, err = strconv.Atoi(v); return },
+			"rows": func(v string) (err error) { rows, err = strconv.ParseInt(v, 10, 64); return },
+		})
+		if err != nil {
+			return err
+		}
+		if maps < 1 || rows < 1 {
+			return errf("hs spec needs positive maps and rows")
+		}
+		for m := 0; m < maps; m++ {
+			var buf bytes.Buffer
+			for i := int64(0); i < rows; i++ {
+				buf.WriteString(HSLine(seed, int64(m)*rows+i))
+				buf.WriteByte('\n')
+			}
+			name := filepath.Join(dir, inputformat.PartName(m))
+			if err := os.WriteFile(name, buf.Bytes(), 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func parseParams(params string, set map[string]func(string) error) error {
+	seen := map[string]bool{}
+	for _, kv := range strings.Split(params, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return errf("malformed parameter %q", kv)
+		}
+		f := set[k]
+		if f == nil {
+			return errf("unknown parameter %q", k)
+		}
+		if err := f(v); err != nil {
+			return errf("parameter %q: %v", kv, err)
+		}
+		seen[k] = true
+	}
+	for k := range set {
+		if !seen[k] {
+			return errf("missing parameter %q", k)
+		}
+	}
+	return nil
+}

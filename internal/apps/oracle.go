@@ -1,0 +1,141 @@
+package apps
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+
+	"mrmicro/internal/inputformat"
+)
+
+// The oracles recompute each workload's answer with plain maps and loops —
+// no splits, no shuffle, no reducers — so an engine's output can be checked
+// against an implementation that shares none of the machinery under test.
+// Results are (key, rendered-value) pairs keyed like the job's reduce
+// output; OracleLines renders them "key<TAB>value" in key order, matching
+// what TextOutput-committed parts concatenate to for a 1-reduce job.
+
+// iterateLines walks a corpus directory's records exactly as the reader
+// contract defines them (newline-delimited, CR stripped, final line with or
+// without terminator), calling fn with each record's corpus-global offset.
+func iterateLines(dir string, fn func(globalOffset int64, line []byte) error) error {
+	paths, err := inputformat.ListFiles(dir)
+	if err != nil {
+		return err
+	}
+	var base int64
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return errf("oracle: %v", err)
+		}
+		off := 0
+		for off < len(data) {
+			end := off
+			for end < len(data) && data[end] != '\n' {
+				end++
+			}
+			raw := end - off
+			if end < len(data) {
+				raw++ // the newline
+			}
+			line := data[off:end]
+			if len(line) > 0 && line[len(line)-1] == '\r' {
+				line = line[:len(line)-1]
+			}
+			if err := fn(base+int64(off), line); err != nil {
+				return err
+			}
+			off += raw
+		}
+		base += int64(len(data))
+	}
+	return nil
+}
+
+// Oracle computes a file-backed workload's expected output. pattern is only
+// consulted for grep.
+func Oracle(workload, dir, pattern string) (map[string]string, error) {
+	switch workload {
+	case WordCount:
+		return WordCountOracle(dir)
+	case Grep:
+		return GrepOracle(dir, pattern)
+	case InvIndex:
+		return InvIndexOracle(dir)
+	default:
+		return nil, errf("no oracle for workload %q", workload)
+	}
+}
+
+// WordCountOracle: one hash map, no MapReduce.
+func WordCountOracle(dir string) (map[string]string, error) {
+	counts := map[string]int64{}
+	err := iterateLines(dir, func(_ int64, line []byte) error {
+		for _, w := range Tokenize(line) {
+			counts[w]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return renderCounts(counts), nil
+}
+
+// GrepOracle counts regexp matches per matched fragment.
+func GrepOracle(dir, pattern string) (map[string]string, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, errf("oracle: %v", err)
+	}
+	counts := map[string]int64{}
+	err = iterateLines(dir, func(_ int64, line []byte) error {
+		for _, m := range re.FindAll(line, -1) {
+			counts[string(m)]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return renderCounts(counts), nil
+}
+
+// InvIndexOracle maps each word to its canonical posting list.
+func InvIndexOracle(dir string) (map[string]string, error) {
+	postings := map[string][]int64{}
+	err := iterateLines(dir, func(offset int64, line []byte) error {
+		for _, w := range Tokenize(line) {
+			postings[w] = append(postings[w], offset)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(postings))
+	for w, p := range postings {
+		out[w] = JoinPostings(p)
+	}
+	return out, nil
+}
+
+func renderCounts(counts map[string]int64) map[string]string {
+	out := make(map[string]string, len(counts))
+	for k, v := range counts {
+		out[k] = strconv.FormatInt(v, 10)
+	}
+	return out
+}
+
+// OracleLines renders an oracle result as sorted "key<TAB>value" lines —
+// the byte-for-byte expectation for a single-reduce TextOutput run.
+func OracleLines(m map[string]string) []string {
+	keys := sortedKeys(m)
+	lines := make([]string, len(keys))
+	for i, k := range keys {
+		lines[i] = k + "\t" + m[k]
+	}
+	return lines
+}

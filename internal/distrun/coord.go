@@ -219,11 +219,15 @@ func NewCoordinator(cfg microbench.Config, opts *Options) (*Coordinator, error) 
 	if cfg.NumReduces == 0 {
 		return nil, fmt.Errorf("distrun: jobs need a reduce phase")
 	}
+	numMaps, err := microbench.MapTaskCount(cfg)
+	if err != nil {
+		return nil, err
+	}
 	c := &Coordinator{
 		cfg:      cfg,
 		opts:     *opts,
 		sessions: make(map[int64]*workerState),
-		maps:     make([]taskState, cfg.NumMaps),
+		maps:     make([]taskState, numMaps),
 		reduces:  make([]taskState, cfg.NumReduces),
 		done:     make(chan struct{}),
 		stop:     make(chan struct{}),

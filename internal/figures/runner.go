@@ -20,7 +20,11 @@ import (
 type PointResult struct {
 	JobSeconds   float64
 	ShuffleBytes int64
-	PeakRxMBps   float64
+	// MapInputBytes is the exact input volume for real-input workload
+	// points (zero for the synthetic generator, which reads nothing); the
+	// shuffle/input ratio classifies workloads shuffle- vs map-heavy.
+	MapInputBytes int64
+	PeakRxMBps    float64
 	// Samples holds per-slave utilization timelines; nil unless the point
 	// ran with MonitorInterval set.
 	Samples [][]cluster.Sample
@@ -30,7 +34,7 @@ type PointResult struct {
 // Bump the version whenever a kernel, engine, or cost-model change alters
 // simulation results: old disk entries then miss instead of resurfacing
 // stale numbers.
-const pointKeySchema = "mrmicro/point/v5" // v5: Config gained IOSortMB/SpillPercent/SyncSpill and the sims model spill overlap
+const pointKeySchema = "mrmicro/point/v6" // v6: Config gained the workload surface; specs carry exact input counters
 
 // pointKey is the hashed identity of a sweep point. Config is normalized
 // (defaults explicit, Model resolved) before hashing, so every spelling of
@@ -125,10 +129,11 @@ func (r Runner) runPoint(cfg microbench.Config) (PointResult, error) {
 		return PointResult{}, err
 	}
 	pr := PointResult{
-		JobSeconds:   res.JobSeconds(),
-		ShuffleBytes: res.ShuffleBytes,
-		PeakRxMBps:   res.PeakRxMBps(),
-		Samples:      res.Samples,
+		JobSeconds:    res.JobSeconds(),
+		ShuffleBytes:  res.ShuffleBytes,
+		MapInputBytes: res.Report.Counters.Task(mapreduce.CtrMapInputBytes),
+		PeakRxMBps:    res.PeakRxMBps(),
+		Samples:       res.Samples,
 	}
 	if r.Cache != nil {
 		// Best-effort: a full or read-only cache directory must not fail
@@ -150,7 +155,8 @@ func runDistPoint(norm microbench.Config) (PointResult, error) {
 		return PointResult{}, err
 	}
 	return PointResult{
-		JobSeconds:   res.Elapsed.Seconds(),
-		ShuffleBytes: res.Counters.Task(mapreduce.CtrReduceShuffleBytes),
+		JobSeconds:    res.Elapsed.Seconds(),
+		ShuffleBytes:  res.Counters.Task(mapreduce.CtrReduceShuffleBytes),
+		MapInputBytes: res.Counters.Task(mapreduce.CtrMapInputBytes),
 	}, nil
 }

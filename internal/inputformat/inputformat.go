@@ -1,0 +1,155 @@
+// Package inputformat is the suite's real-input path: text files on disk,
+// carved into fixed-size byte ranges (splits) and read back with Hadoop's
+// chunk-spanning record semantics — a record that straddles a split boundary
+// is read exactly once, by the split that owns its first byte. Every engine
+// that consumes file-backed input goes through this package, so the
+// boundary rules are pinned in one place (and differentially tested by
+// mrcheck's workload oracles).
+package inputformat
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mrmicro/internal/mapreduce"
+)
+
+// DefaultSplitSize is the split granularity when none is configured. Real
+// HDFS blocks are 128 MiB; the micro-benchmarks default much smaller so a
+// test corpus still produces multi-split jobs.
+const DefaultSplitSize = 1 << 20
+
+// ConfSplitSize is the conf key carrying the split granularity, mirroring
+// mapreduce.input.fileinputformat.split.maxsize.
+const ConfSplitSize = "mapreduce.input.fileinputformat.split.maxsize"
+
+// ConfInputDir records the input directory a job reads, like
+// mapreduce.input.fileinputformat.inputdir.
+const ConfInputDir = "mapreduce.input.fileinputformat.inputdir"
+
+// FileSplit is one map task's byte range [Start, End) of a file. Base is
+// the file's offset in the corpus-wide concatenation (files in sorted name
+// order), which makes Base+lineOffset a corpus-global record position —
+// the record keys the line reader emits.
+type FileSplit struct {
+	Path  string
+	File  int   // index of the file in sorted enumeration order
+	Base  int64 // global byte offset of the file's first byte
+	Start int64 // split start within the file
+	End   int64 // split end within the file (exclusive)
+	Size  int64 // total file size
+}
+
+// Length is the split's size in bytes.
+func (s *FileSplit) Length() int64 { return s.End - s.Start }
+
+func (s *FileSplit) String() string {
+	return fmt.Sprintf("%s[%d:%d)", filepath.Base(s.Path), s.Start, s.End)
+}
+
+// TextFormat reads every regular file in Dir (sorted by name, dot files
+// skipped) as newline-delimited text, carving each into SplitSize-byte
+// splits. The reader yields (LongWritable global-offset, Text line) records
+// with the owning-split boundary rule; see LineReader.
+type TextFormat struct {
+	Dir string
+	// SplitSize is the byte range per split; <= 0 means the conf's
+	// ConfSplitSize, falling back to DefaultSplitSize.
+	SplitSize int64
+}
+
+// ListFiles enumerates the corpus files of a directory in sorted name
+// order, skipping subdirectories and dot files (in-progress output temps
+// are dot-prefixed, so a job can read a directory another job committed
+// outputs into without racing its leftovers).
+func ListFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("inputformat: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	paths := make([]string, len(names))
+	for i, n := range names {
+		paths[i] = filepath.Join(dir, n)
+	}
+	return paths, nil
+}
+
+// TotalBytes sums the sizes of a directory's corpus files — the exact value
+// a job's MAP_INPUT_BYTES counter must reach over file-backed splits.
+func TotalBytes(dir string) (int64, error) {
+	paths, err := ListFiles(dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, p := range paths {
+		st, err := os.Stat(p)
+		if err != nil {
+			return 0, fmt.Errorf("inputformat: %w", err)
+		}
+		total += st.Size()
+	}
+	return total, nil
+}
+
+func (f *TextFormat) splitSize(conf *mapreduce.Conf) int64 {
+	if f.SplitSize > 0 {
+		return f.SplitSize
+	}
+	if conf != nil {
+		if v := conf.GetInt(ConfSplitSize, 0); v > 0 {
+			return int64(v)
+		}
+	}
+	return DefaultSplitSize
+}
+
+// Splits carves the directory's files into byte-range splits. Zero-length
+// files produce no splits; every non-empty file produces at least one.
+func (f *TextFormat) Splits(conf *mapreduce.Conf) ([]mapreduce.InputSplit, error) {
+	paths, err := ListFiles(f.Dir)
+	if err != nil {
+		return nil, err
+	}
+	size := f.splitSize(conf)
+	var splits []mapreduce.InputSplit
+	var base int64
+	for fi, p := range paths {
+		st, err := os.Stat(p)
+		if err != nil {
+			return nil, fmt.Errorf("inputformat: %w", err)
+		}
+		n := st.Size()
+		for off := int64(0); off < n; off += size {
+			end := off + size
+			if end > n {
+				end = n
+			}
+			splits = append(splits, &FileSplit{
+				Path: p, File: fi, Base: base, Start: off, End: end, Size: n,
+			})
+		}
+		base += n
+	}
+	return splits, nil
+}
+
+// Reader opens a chunk-spanning line reader over one split.
+func (f *TextFormat) Reader(split mapreduce.InputSplit, conf *mapreduce.Conf) (mapreduce.RecordReader, error) {
+	fs, ok := split.(*FileSplit)
+	if !ok {
+		return nil, fmt.Errorf("inputformat: TextFormat got foreign split %T", split)
+	}
+	return NewLineReader(fs)
+}

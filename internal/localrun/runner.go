@@ -668,6 +668,7 @@ func runMapTask(job *mapreduce.Job, aid mapreduce.TaskAttemptID, split mapreduce
 	if err := mapper.Close(mc, rep); err != nil {
 		return ctrs, fmt.Errorf("localrun: map %d close: %w", idx, err)
 	}
+	chargeInputBytes(ctrs, reader)
 	if err := mc.spill(); err != nil {
 		return ctrs, err
 	}
@@ -1041,5 +1042,14 @@ func runMapOnly(job *mapreduce.Job, idx int, split mapreduce.InputSplit) (*mapre
 	if err := mapper.Close(out, rep); err != nil {
 		return ctrs, err
 	}
+	chargeInputBytes(ctrs, reader)
 	return ctrs, writer.Close()
+}
+
+// chargeInputBytes credits MAP_INPUT_BYTES when the reader can account for
+// its consumption (file-backed splits; synthetic readers read nothing).
+func chargeInputBytes(ctrs *mapreduce.Counters, reader mapreduce.RecordReader) {
+	if ib, ok := reader.(interface{ InputBytes() int64 }); ok {
+		ctrs.IncrTask(mapreduce.CtrMapInputBytes, ib.InputBytes())
+	}
 }

@@ -11,6 +11,7 @@ const (
 	CounterGroupTask = "org.apache.hadoop.mapreduce.TaskCounter"
 
 	CtrMapInputRecords     = "MAP_INPUT_RECORDS"
+	CtrMapInputBytes       = "MAP_INPUT_BYTES"
 	CtrMapOutputRecords    = "MAP_OUTPUT_RECORDS"
 	CtrMapOutputBytes      = "MAP_OUTPUT_BYTES"
 	CtrCombineInputRecords = "COMBINE_INPUT_RECORDS"

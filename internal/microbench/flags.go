@@ -43,6 +43,11 @@ type Flags struct {
 	codec    string
 	combine  bool
 	conf     cliutil.KVFlag
+	workload string
+	input    string
+	outdir   string
+	splitSz  string
+	grep     string
 
 	faultSeed         int64
 	faultMap          float64
@@ -88,6 +93,11 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.codec, "codec", "", "map-output compression codec: none (default) or deflate (Hadoop's mapreduce.map.output.compress.codec)")
 	fs.BoolVar(&f.combine, "combine", false, "run the first-value combiner at spill and merge (map-side aggregation)")
 	fs.Var(&f.conf, "conf", "raw Hadoop conf override key=value (repeatable, e.g. -conf mapreduce.task.io.sort.mb=1)")
+	fs.StringVar(&f.workload, "workload", "", "real-input workload: wordcount, grep, invindex, hsgen, hssort or hsvalidate (default: the synthetic generator benchmark)")
+	fs.StringVar(&f.input, "input", "", "workload input spec: dir:<path>, or a generated corpus like text:seed=1,files=2,bytes=4096,shape=mixed")
+	fs.StringVar(&f.outdir, "outdir", "", "commit reduce output as text part files in this directory (default: discard)")
+	fs.StringVar(&f.splitSz, "splitsize", "", "input split granularity, e.g. 64KB (default 1MB)")
+	fs.StringVar(&f.grep, "grep", "", "grep workload regexp (default \"data\")")
 
 	fs.Int64Var(&f.faultSeed, "fault-seed", 0, "seed for injected faults (default: -seed)")
 	fs.Float64Var(&f.faultMap, "fault-map-rate", 0, "probability a map attempt dies mid-shuffle-registration")
@@ -130,6 +140,17 @@ func (f *Flags) Config() (Config, error) {
 		Codec:          f.codec,
 		Combine:        f.combine,
 		ExtraConf:      f.conf.Map(),
+		Workload:       f.workload,
+		InputSpec:      f.input,
+		OutputDir:      f.outdir,
+		GrepPattern:    f.grep,
+	}
+	if f.splitSz != "" {
+		n, err := cliutil.ParseSize(f.splitSz)
+		if err != nil {
+			return cfg, fmt.Errorf("-splitsize: %w", err)
+		}
+		cfg.SplitSize = n
 	}
 	if f.shufMem != "" {
 		n, err := cliutil.ParseSize(f.shufMem)
@@ -227,6 +248,21 @@ func (c Config) ReproFlags() []string {
 	}
 	if c.Combine {
 		args = append(args, "-combine")
+	}
+	if c.Workload != "" {
+		args = append(args, "-workload", c.Workload)
+		if c.InputSpec != "" {
+			args = append(args, "-input", c.InputSpec)
+		}
+		if c.OutputDir != "" {
+			args = append(args, "-outdir", c.OutputDir)
+		}
+		if c.SplitSize > 0 {
+			args = append(args, "-splitsize", strconv.FormatInt(c.SplitSize, 10))
+		}
+		if c.GrepPattern != "" {
+			args = append(args, "-grep", c.GrepPattern)
+		}
 	}
 	if c.RDMAShuffle {
 		args = append(args, "-rdma")

@@ -15,6 +15,9 @@ func BuildJob(cfg Config) (*mapreduce.Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Workload != "" {
+		return buildWorkloadJob(cfg)
+	}
 	job := &mapreduce.Job{
 		Name: cfg.Label(),
 		Conf: cfg.HadoopConf(),

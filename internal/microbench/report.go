@@ -3,6 +3,8 @@ package microbench
 import (
 	"fmt"
 	"strings"
+
+	"mrmicro/internal/mapreduce"
 )
 
 // Render formats a Result the way the paper describes the suite's output:
@@ -11,7 +13,11 @@ import (
 func (r *Result) Render() string {
 	var b strings.Builder
 	cfg := r.Config
-	fmt.Fprintf(&b, "=== %s micro-benchmark ===\n", cfg.Pattern)
+	if cfg.Workload != "" {
+		fmt.Fprintf(&b, "=== %s workload ===\n", cfg.Workload)
+	} else {
+		fmt.Fprintf(&b, "=== %s micro-benchmark ===\n", cfg.Pattern)
+	}
 	fmt.Fprintf(&b, "Configuration:\n")
 	fmt.Fprintf(&b, "  engine              %s (cluster %s, %d slaves)\n", cfg.Engine, cfg.Cluster, cfg.Slaves)
 	fmt.Fprintf(&b, "  network             %s", cfg.Network)
@@ -19,10 +25,20 @@ func (r *Result) Render() string {
 		fmt.Fprintf(&b, " + RDMA-enhanced shuffle (MRoIB)")
 	}
 	fmt.Fprintf(&b, "\n")
-	fmt.Fprintf(&b, "  map/reduce tasks    %d / %d\n", cfg.NumMaps, cfg.NumReduces)
-	fmt.Fprintf(&b, "  key/value size      %d / %d bytes (%s)\n", cfg.KeySize, cfg.ValueSize, cfg.DataType)
-	fmt.Fprintf(&b, "  pairs per map       %d\n", cfg.PairsPerMap)
-	fmt.Fprintf(&b, "  shuffle data size   %s\n", FormatBytes(cfg.ShuffleBytes()))
+	fmt.Fprintf(&b, "  map/reduce tasks    %d / %d\n", r.mapTasks(), cfg.NumReduces)
+	if cfg.Workload != "" {
+		fmt.Fprintf(&b, "  input spec          %s\n", cfg.InputSpec)
+		if cfg.SplitSize > 0 {
+			fmt.Fprintf(&b, "  split size          %s\n", FormatBytes(cfg.SplitSize))
+		}
+		if cfg.GrepPattern != "" {
+			fmt.Fprintf(&b, "  grep pattern        %s\n", cfg.GrepPattern)
+		}
+	} else {
+		fmt.Fprintf(&b, "  key/value size      %d / %d bytes (%s)\n", cfg.KeySize, cfg.ValueSize, cfg.DataType)
+		fmt.Fprintf(&b, "  pairs per map       %d\n", cfg.PairsPerMap)
+		fmt.Fprintf(&b, "  shuffle data size   %s\n", FormatBytes(cfg.ShuffleBytes()))
+	}
 	fmt.Fprintf(&b, "Results:\n")
 	fmt.Fprintf(&b, "  job execution time  %.1f s\n", r.JobSeconds())
 	fmt.Fprintf(&b, "  map phase           %.1f s\n", r.Report.MapPhaseSeconds())
@@ -34,6 +50,22 @@ func (r *Result) Render() string {
 		fmt.Fprintf(&b, "  mean CPU            %.1f %%\n", r.MeanCPUPct())
 	}
 	return b.String()
+}
+
+// mapTasks counts distinct map tasks in the job history. Workload jobs
+// derive their map count from the input's splits, so the configured NumMaps
+// is not authoritative; the history is.
+func (r *Result) mapTasks() int {
+	seen := map[int]bool{}
+	for _, ev := range r.Report.Tasks {
+		if ev.Type == mapreduce.TaskMap {
+			seen[ev.Index] = true
+		}
+	}
+	if len(seen) == 0 {
+		return r.Config.NumMaps
+	}
+	return len(seen)
 }
 
 // FormatBytes renders a byte count with binary units.

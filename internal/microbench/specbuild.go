@@ -27,6 +27,9 @@ func BuildSpec(cfg Config) (*mrsim.JobSpec, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Workload != "" {
+		return buildWorkloadSpec(cfg)
+	}
 	pairLen, err := SerializedPairLen(cfg.DataType, cfg.KeySize, cfg.ValueSize)
 	if err != nil {
 		return nil, err

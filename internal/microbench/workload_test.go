@@ -1,0 +1,114 @@
+package microbench_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mrmicro/internal/apps"
+	"mrmicro/internal/inputformat"
+	"mrmicro/internal/localrun"
+	"mrmicro/internal/mapreduce"
+	"mrmicro/internal/microbench"
+)
+
+// writeCorpus commits a small corpus with the awkward byte shapes the
+// chunk-spanning reader must own exactly: CRLF line endings, empty lines,
+// and a final line with no terminator.
+func writeCorpus(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"a.txt": "the quick brown fox\njumps over the lazy dog\nthe end\n",
+		"b.txt": "crlf line one\r\ncrlf line two\r\n\r\nafter empty\r\n",
+		"c.txt": "no trailing newline",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestMapInputBytesExact is the regression test for the NullInput latent
+// assumption: for file-backed splits, MAP_INPUT_BYTES must equal the corpus
+// size exactly — every byte of every file charged to exactly one map task,
+// even when records straddle split boundaries.
+func TestMapInputBytesExact(t *testing.T) {
+	dir := writeCorpus(t)
+	want, err := inputformat.TotalBytes(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, splitSize := range []int64{7, 16, 1 << 20} {
+		cfg := microbench.Config{
+			Workload:   apps.WordCount,
+			InputSpec:  "dir:" + dir,
+			SplitSize:  splitSize,
+			NumReduces: 1,
+			OutputDir:  filepath.Join(t.TempDir(), "out"),
+		}
+		cfg, err := cfg.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		job, err := microbench.BuildJob(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := localrun.Run(job, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Counters.Task(mapreduce.CtrMapInputBytes)
+		if got != want {
+			t.Errorf("splitSize=%d: MAP_INPUT_BYTES = %d, want corpus size %d", splitSize, got, want)
+		}
+	}
+}
+
+// TestSimWorkloadCountersMatchLocalrun pins the spec-modeled engines to the
+// real run: a workload simulated on mrv1 must report the exact input
+// counters the in-process engine measured — not the NullInput convention of
+// one dummy record per map.
+func TestSimWorkloadCountersMatchLocalrun(t *testing.T) {
+	cfg := microbench.Config{
+		Workload:   apps.WordCount,
+		InputSpec:  "text:seed=42,files=2,bytes=4096,shape=words",
+		SplitSize:  512,
+		NumReduces: 2,
+		OutputDir:  filepath.Join(t.TempDir(), "out"),
+	}
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := microbench.BuildJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lres, err := localrun.Run(job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	simCfg := cfg
+	simCfg.OutputDir = "" // sims model the job; they commit nothing
+	sres, err := microbench.Run(simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ctr := range []string{
+		mapreduce.CtrMapInputRecords,
+		mapreduce.CtrMapInputBytes,
+		mapreduce.CtrMapOutputRecords,
+		mapreduce.CtrMapOutputBytes,
+	} {
+		got := sres.Report.Counters.Task(ctr)
+		want := lres.Counters.Task(ctr)
+		if got != want {
+			t.Errorf("sim %s = %d, localrun measured %d", ctr, got, want)
+		}
+	}
+}

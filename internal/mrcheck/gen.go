@@ -16,10 +16,13 @@
 package mrcheck
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
+	"mrmicro/internal/apps"
 	"mrmicro/internal/faultinject"
+	"mrmicro/internal/inputformat"
 	"mrmicro/internal/microbench"
 )
 
@@ -32,6 +35,12 @@ type GenOptions struct {
 	// Faults makes the generator attach a seeded fault plan to (roughly half
 	// of) the generated configs.
 	Faults bool
+
+	// WorkloadOnly restricts the stream to real-input workload configs
+	// (wordcount/grep/invindex over generated corpora, hssort over
+	// materialized generator rows). Off, workloads ride along on roughly a
+	// fifth of the stream.
+	WorkloadOnly bool
 }
 
 func (o GenOptions) maxShuffleBytes() int64 {
@@ -51,6 +60,10 @@ func Generate(seed int64, i int, opts GenOptions) microbench.Config {
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4B9B1
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	rng := rand.New(rand.NewSource(int64(z ^ (z >> 31))))
+
+	if opts.WorkloadOnly || rng.Intn(5) == 0 {
+		return genWorkload(rng, opts)
+	}
 
 	patterns := microbench.Patterns()
 	cfg := microbench.Config{
@@ -111,6 +124,55 @@ func Generate(seed int64, i int, opts GenOptions) microbench.Config {
 	}
 	cfg.PairsPerMap = 1 + rng.Int63n(maxPairs)
 
+	if opts.Faults && rng.Intn(2) == 0 {
+		cfg.Faults = genPlan(rng)
+	}
+	return cfg
+}
+
+// genWorkload draws a real-input workload configuration. Text workloads run
+// over generated content-addressed corpora so a repro line replays against
+// identical bytes; the split sizes are drawn small enough that records
+// routinely straddle split boundaries, keeping the chunk-spanning reader on
+// the critical path. hssort draws pin the chained-pipeline identity: the
+// "hs:" spec materializes exactly the rows the gen stage would commit.
+func genWorkload(rng *rand.Rand, opts GenOptions) microbench.Config {
+	cfg := microbench.Config{
+		Slaves:     1 + rng.Intn(4),
+		NumReduces: 1 + rng.Intn(4),
+		Seed:       rng.Int63(),
+		Slowstart:  pickFloat(rng, 0.05, 0.25, 1.0),
+		Codec:      pickOne(rng, "", "", "deflate"),
+		Workload: pickOne(rng, apps.WordCount, apps.WordCount, apps.Grep,
+			apps.Grep, apps.InvIndex, apps.HSSort),
+	}
+	if cfg.Workload == apps.HSSort {
+		maps := 1 + rng.Intn(3)
+		rows := int64(8 + rng.Intn(57))
+		seed := rng.Int63n(1 << 30)
+		cfg.NumMaps = maps
+		cfg.PairsPerMap = rows
+		cfg.Seed = seed
+		cfg.InputSpec = fmt.Sprintf("hs:seed=%d,maps=%d,rows=%d", seed, maps, rows)
+	} else {
+		spec := inputformat.TextSpec{
+			Seed:  rng.Int63n(1 << 30),
+			Files: 1 + rng.Intn(3),
+			Bytes: int64(logUniform(rng, 256, 8<<10)),
+			Shape: inputformat.TextShapes[rng.Intn(len(inputformat.TextShapes))],
+		}
+		cfg.InputSpec = spec.String()
+		if rng.Intn(2) == 0 {
+			cfg.SplitSize = int64(logUniform(rng, 48, 4096))
+		}
+		if cfg.Workload == apps.Grep {
+			// A mix of hit-heavy, literal, regex, and no-match patterns.
+			cfg.GrepPattern = pickOne(rng, "data", "the", "[a-z]o", "zqzq")
+		}
+		if cfg.Workload != apps.InvIndex && rng.Intn(2) == 0 {
+			cfg.Combine = true
+		}
+	}
 	if opts.Faults && rng.Intn(2) == 0 {
 		cfg.Faults = genPlan(rng)
 	}

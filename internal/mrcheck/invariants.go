@@ -82,6 +82,9 @@ func CheckConfig(cfg microbench.Config, opts CheckOptions) error {
 	if err != nil {
 		return fmt.Errorf("mrcheck: config does not normalize: %w", err)
 	}
+	if cfg.Workload != "" {
+		return checkWorkload(cfg, opts)
+	}
 	if cfg.PairsPerMap >= microbench.MaxExactSpecDraws {
 		return fmt.Errorf("mrcheck: PairsPerMap %d at or above the exact-spec bound %d; oracles would be sampled",
 			cfg.PairsPerMap, microbench.MaxExactSpecDraws)

@@ -2,11 +2,13 @@ package mrcheck
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 
+	"mrmicro/internal/apps"
 	"mrmicro/internal/distrun"
 	"mrmicro/internal/mapreduce"
 	"mrmicro/internal/microbench"
@@ -283,5 +285,77 @@ func FlipFirstPartition(job *mapreduce.Job) {
 			}
 			return d
 		})
+	}
+}
+
+// TestWorkloadProperty is the acceptance run for the real-input workload
+// invariants: 200 generated workload configurations (seeded, replayable
+// through the same stream) through the workload-oracle, input-accounting,
+// recovery, and chained-pipeline identity invariants. The run is sharded
+// across parallel subtests; each shard replays in isolation from its seed.
+// The cross-engine counter twins ride the main TestProperty stream instead
+// (workloads ride along on a fifth of it), keeping this run localrun-focused
+// and cheap per config.
+func TestWorkloadProperty(t *testing.T) {
+	const shards = 4
+	n := 200 / shards
+	if testing.Short() {
+		n = 8
+	}
+	for s := 0; s < shards; s++ {
+		s := s
+		t.Run(fmt.Sprintf("shard%d", s), func(t *testing.T) {
+			t.Parallel()
+			res, err := RunSuite(SuiteOptions{
+				Seed:  1000 + int64(s),
+				N:     n,
+				Gen:   GenOptions{WorkloadOnly: true, Faults: true},
+				Check: CheckOptions{Engines: []microbench.Engine{}},
+				Log:   t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failure != nil {
+				t.Fatalf("invariant %s: %s\nrepro: %s", res.Failure.Invariant, res.Failure.Detail, res.Repro)
+			}
+			if res.Checked == 0 {
+				t.Error("workload property run checked nothing")
+			}
+		})
+	}
+}
+
+// TestWorkloadMutationCaught is the workload harness's vacuity guard: a
+// flipped partition decision in a multi-reduce wordcount splits one key's
+// counts across two reduce tasks, committing two partial-count lines where
+// the oracle has one — the workload-oracle identity must catch it.
+func TestWorkloadMutationCaught(t *testing.T) {
+	cfg := microbench.Config{
+		Workload:   apps.WordCount,
+		InputSpec:  "text:seed=5,files=1,bytes=1024,shape=words",
+		NumReduces: 3,
+		Slaves:     1,
+	}
+	mutate := func(job *mapreduce.Job) {
+		job.PartitionerForTask = func(mapTask int) mapreduce.Partitioner {
+			first := mapTask == 0
+			return mapreduce.PartitionerFunc(func(k, v writable.Writable, nr int) int {
+				d := mapreduce.HashPartitioner{}.Partition(k, v, nr)
+				if first && nr > 1 {
+					first = false
+					d = (d + 1) % nr
+				}
+				return d
+			})
+		}
+	}
+	err := CheckConfig(cfg, CheckOptions{Engines: []microbench.Engine{}, MutateJob: mutate})
+	var fail *Failure
+	if !errors.As(err, &fail) {
+		t.Fatalf("mutated workload job passed every invariant (err=%v) — the workload harness is vacuous", err)
+	}
+	if fail.Invariant != "workload-oracle/output" {
+		t.Errorf("flip caught by %s, want workload-oracle/output", fail.Invariant)
 	}
 }

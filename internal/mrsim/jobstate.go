@@ -139,7 +139,14 @@ func (js *JobState) CleanupIntermediate() {
 func (js *JobState) fillCounters() {
 	c := js.Report.Counters
 	spec := js.Spec
-	c.IncrTask(mapreduce.CtrMapInputRecords, int64(spec.NumMaps())) // one dummy split record each
+	inRecs := spec.MapInputRecords
+	if inRecs == 0 {
+		inRecs = int64(spec.NumMaps()) // NullInput: one dummy split record each
+	}
+	c.IncrTask(mapreduce.CtrMapInputRecords, inRecs)
+	if spec.MapInputBytes > 0 {
+		c.IncrTask(mapreduce.CtrMapInputBytes, spec.MapInputBytes)
+	}
 	c.IncrTask(mapreduce.CtrMapOutputRecords, spec.TotalRecords())
 	mob := spec.MapOutputRawBytes
 	if mob == 0 {

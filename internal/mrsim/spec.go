@@ -58,6 +58,14 @@ type JobSpec struct {
 	// case counters fall back to TotalShuffleBytes.
 	MapOutputRawBytes int64
 
+	// MapInputRecords / MapInputBytes are the real input's totals, set by
+	// spec builders that know them (the workload path runs the real record
+	// readers). They exist so the simulated engines' MAP_INPUT_* counters
+	// match localrun's exactly. Zero MapInputRecords means the NullInput
+	// convention applies: one dummy record per map, no input bytes.
+	MapInputRecords int64
+	MapInputBytes   int64
+
 	// Shuffle overrides the reducer copy-phase strategy; nil selects the
 	// stock Hadoop TCP shuffle (StockShuffle).
 	Shuffle ShufflePlugin
